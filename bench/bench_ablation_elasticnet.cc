@@ -1,0 +1,44 @@
+// Ablation — elastic-net mixing (λL2): validates the paper's in-training
+// feature-selection claim that λL2 = 0.99 yields models with ~10x fewer
+// features than pure ℓ2 at comparable ranking quality, while heavier ℓ1
+// weights degrade quality (paper Section 4, "Ranking Generation
+// Techniques").
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace ie;
+using namespace ie::bench;
+
+int main() {
+  Harness harness({RelationId::kPersonCharge});
+  const RelationId relation = RelationId::kPersonCharge;
+  const size_t seeds = NumSeeds();
+  const size_t sample = harness.SampleSize();
+
+  std::printf(
+      "\nAblation: elastic-net mixing for RSVM-IE (Person-Charge, "
+      "adaptive SRS+Mod-C)\n");
+  std::printf("%-12s %10s %10s %14s\n", "lambda_L2", "AP%", "AUC%",
+              "model features");
+
+  for (const double l2_share : {1.0, 0.99, 0.9, 0.5, 0.1}) {
+    double features = 0.0;
+    const AggregateMetrics agg = RunExperiment(
+        "cfg", seeds, [&](size_t run) {
+          PipelineConfig config = PipelineConfig::Defaults(
+              RankerKind::kRSVMIE, SamplerKind::kSRS, UpdateKind::kModC,
+              RunSeed(2000, run));
+          config.sample_size = sample;
+          config.rsvm.rank_svm.sgd.lambda_l2_share = l2_share;
+          PipelineResult result = AdaptiveExtractionPipeline::Run(
+              harness.Context(relation), config);
+          features += static_cast<double>(result.final_model_features) /
+                      static_cast<double>(seeds);
+          return result;
+        });
+    std::printf("%-12.2f %10.1f %10.1f %14.0f\n", l2_share,
+                100.0 * agg.ap_mean, 100.0 * agg.auc_mean, features);
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation: RSVM-IE hyperparameter sensitivity (λAll, initial pairwise
+// steps) measured by base-ranking average precision. Supports the
+// DESIGN.md §5 parameter choices.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace ie;
+using namespace ie::bench;
+
+int main() {
+  Harness harness({RelationId::kPersonCharge, RelationId::kPersonCareer});
+  const size_t seeds = NumSeeds();
+  const size_t sample = harness.SampleSize();
+
+  std::printf("\nRSVM-IE parameter sweep (base, SRS, full access)\n");
+  std::printf("%-40s %10s %10s\n", "configuration", "PH AP%", "PC AP%");
+  for (const double lambda_all : {0.02, 0.1, 0.5}) {
+    for (const size_t init_pairs : {2000UL, 6000UL, 20000UL}) {
+      for (const int steps_obs : {4}) {
+        double ap[2];
+        int col = 0;
+        for (RelationId rel :
+             {RelationId::kPersonCharge, RelationId::kPersonCareer}) {
+          const AggregateMetrics agg = RunExperiment(
+              "cfg", seeds, [&](size_t run) {
+                PipelineConfig config = PipelineConfig::Defaults(
+                    RankerKind::kRSVMIE, SamplerKind::kSRS,
+                    UpdateKind::kNone, RunSeed(500, run));
+                config.sample_size = sample;
+                config.rsvm.rank_svm.sgd.lambda_all = lambda_all;
+                config.rsvm.initial_pair_steps = init_pairs;
+                config.rsvm.rank_svm.steps_per_observation = steps_obs;
+                return AdaptiveExtractionPipeline::Run(
+                    harness.Context(rel), config);
+              });
+          ap[col++] = 100.0 * agg.ap_mean;
+        }
+        std::printf("lambda_all=%.2f init_pairs=%-6zu %14.1f %10.1f\n",
+                    lambda_all, init_pairs, ap[0], ap[1]);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation — document access scenario: full access vs the search-interface
+// scenario (paper Section 4, "Document Access"). In search-interface mode
+// the pipeline only reaches documents retrieved by keyword queries (initial
+// QXtract queries plus per-update model-feature queries), so recall climbs
+// via retrieval waves and the comparison shows what the interface costs.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace ie;
+using namespace ie::bench;
+
+int main() {
+  Harness harness(
+      {RelationId::kNaturalDisaster, RelationId::kPersonCharge});
+  const size_t seeds = NumSeeds();
+  const size_t sample = harness.SampleSize();
+
+  for (RelationId relation :
+       {RelationId::kNaturalDisaster, RelationId::kPersonCharge}) {
+    std::printf(
+        "\nAblation: access scenario for %s (RSVM-IE, SRS + Mod-C)\n",
+        GetRelation(relation).name.c_str());
+    std::printf("%-28s", "processed %:");
+    for (int p = 10; p <= 100; p += 10) std::printf(" %6d", p);
+    std::printf("\n");
+
+    for (const auto& [access, label] :
+         std::vector<std::pair<AccessMode, const char*>>{
+             {AccessMode::kFullAccess, "full access"},
+             {AccessMode::kSearchInterface, "search interface"}}) {
+      const AggregateMetrics agg = RunExperiment(
+          label, seeds, [&, access = access](size_t run) {
+            PipelineConfig config = PipelineConfig::Defaults(
+                RankerKind::kRSVMIE, SamplerKind::kSRS, UpdateKind::kModC,
+                RunSeed(2200, run));
+            config.sample_size = sample;
+            config.access = access;
+            return AdaptiveExtractionPipeline::Run(
+                harness.Context(relation), config);
+          });
+      PrintCurveWithUpdates(agg);
+    }
+  }
+  return 0;
+}

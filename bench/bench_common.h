@@ -1,0 +1,86 @@
+// Shared setup for the benchmark harnesses: corpus/extractor construction
+// with environment-tunable scale, and paper-style table printing helpers.
+//
+// Environment knobs:
+//   IE_BENCH_DOCS   corpus size           (default 20000)
+//   IE_BENCH_SEEDS  runs per configuration (default 3; paper uses 5)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "corpus/generator.h"
+#include "extract/extraction_system.h"
+
+namespace ie::bench {
+
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const long parsed = std::atol(value);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+inline size_t NumDocs() { return EnvSize("IE_BENCH_DOCS", 20000); }
+inline size_t NumSeeds() { return EnvSize("IE_BENCH_SEEDS", 3); }
+
+/// Corpus + trained systems + cached outcomes for a set of relations.
+struct World {
+  Corpus corpus;
+  std::vector<RelationId> relations;
+  std::vector<std::unique_ptr<ExtractionSystem>> systems;   // by relation idx
+  std::vector<ExtractionOutcomes> outcomes;                 // by relation idx
+
+  const ExtractionSystem& system(RelationId id) const {
+    for (size_t i = 0; i < relations.size(); ++i) {
+      if (relations[i] == id) return *systems[i];
+    }
+    IE_CHECK(false);
+    return *systems[0];
+  }
+  const ExtractionOutcomes& outcome(RelationId id) const {
+    for (size_t i = 0; i < relations.size(); ++i) {
+      if (relations[i] == id) return outcomes[i];
+    }
+    IE_CHECK(false);
+    return outcomes[0];
+  }
+};
+
+inline World BuildWorld(const std::vector<RelationId>& relations,
+                        size_t num_docs = NumDocs(), uint64_t seed = 42) {
+  World world;
+  WallTimer timer;
+  GeneratorOptions options;
+  options.num_documents = num_docs;
+  options.seed = seed;
+  world.corpus = GenerateCorpus(options);
+  std::fprintf(stderr, "[setup] corpus: %zu docs, vocab %zu (%.1fs)\n",
+               world.corpus.size(), world.corpus.vocab().size(),
+               timer.ElapsedSeconds());
+  world.relations = relations;
+  for (RelationId relation : relations) {
+    timer.Restart();
+    world.systems.push_back(
+        TrainExtractionSystem(relation, world.corpus.shared_vocab()));
+    world.outcomes.push_back(
+        ExtractionOutcomes::Compute(*world.systems.back(), world.corpus));
+    std::fprintf(stderr, "[setup] %s extractor trained+run (%.1fs)\n",
+                 GetRelation(relation).code.c_str(),
+                 timer.ElapsedSeconds());
+  }
+  return world;
+}
+
+inline std::vector<RelationId> AllRelationIds() {
+  std::vector<RelationId> ids;
+  for (const RelationSpec& spec : AllRelations()) ids.push_back(spec.id);
+  return ids;
+}
+
+}  // namespace ie::bench

@@ -1,0 +1,58 @@
+// Figure 10 — scalability: average CPU time (minutes) to reach target
+// recall values {0.25, 0.5, 0.75, 1.0} for Natural Disaster–Location as a
+// function of collection size (10%..100% of the test split), for BAgg-IE
+// and RSVM-IE (adaptive, SRS + Mod-C). Time = simulated extraction cost
+// (6 s/doc for ND) + measured ranking/detection overhead.
+//
+// Expected shape (paper): CPU time grows ~linearly with collection size at
+// every recall target.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace ie;
+using namespace ie::bench;
+
+int main() {
+  Harness harness({RelationId::kNaturalDisaster});
+  const RelationId relation = RelationId::kNaturalDisaster;
+  const size_t seeds = NumSeeds();
+  const auto& full_pool = harness.test_pool();
+
+  std::printf(
+      "\nFigure 10: CPU time (min) vs collection size, Natural "
+      "Disaster-Location (adaptive, SRS+Mod-C)\n");
+  std::printf("%-8s %-8s |", "size%", "tech");
+  for (double r : {0.25, 0.5, 0.75, 1.0}) std::printf("  r=%.2f ", r);
+  std::printf("\n");
+
+  for (size_t pct = 10; pct <= 100; pct += 10) {
+    const size_t n = full_pool.size() * pct / 100;
+    const std::vector<DocId> pool(full_pool.begin(),
+                                  full_pool.begin() + n);
+    for (const auto& [kind, label] :
+         std::vector<std::pair<RankerKind, const char*>>{
+             {RankerKind::kBAggIE, "BAgg-IE"},
+             {RankerKind::kRSVMIE, "RSVM-IE"}}) {
+      double minutes[4] = {0, 0, 0, 0};
+      for (size_t run = 0; run < seeds; ++run) {
+        PipelineConfig config = PipelineConfig::Defaults(
+            kind, SamplerKind::kSRS, UpdateKind::kModC,
+            RunSeed(1000 + pct, run));
+        config.sample_size =
+            std::max<size_t>(150, pool.size() * 6 / 100);
+        const PipelineResult result = AdaptiveExtractionPipeline::Run(
+            harness.SubsetContext(relation, &pool), config);
+        const double targets[4] = {0.25, 0.5, 0.75, 1.0};
+        for (int i = 0; i < 4; ++i) {
+          minutes[i] += Harness::MinutesToRecall(result, targets[i]) /
+                        static_cast<double>(seeds);
+        }
+      }
+      std::printf("%-8zu %-8s |", pct, label);
+      for (int i = 0; i < 4; ++i) std::printf(" %8.1f", minutes[i]);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

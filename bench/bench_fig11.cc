@@ -1,0 +1,80 @@
+// Figure 11 — average CPU time (minutes) to find and process a FIXED
+// target number of useful documents (the number of useful documents in
+// the 10% subset) for Person–Organization Affiliation, as the collection
+// grows from 10% to 100% of the test split. Adaptive BAgg-IE and RSVM-IE
+// (SRS + Mod-C).
+//
+// Expected shape (paper): time drops sharply as the collection grows
+// (more useful documents near the top of the ranking), then flattens.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace ie;
+using namespace ie::bench;
+
+namespace {
+
+double MinutesToUsefulCount(const PipelineResult& result, size_t target) {
+  const size_t total = result.processing_order.size();
+  size_t found = 0;
+  size_t docs = total;
+  for (size_t i = 0; i < total; ++i) {
+    found += result.processed_useful[i];
+    if (found >= target) {
+      docs = i + 1;
+      break;
+    }
+  }
+  const double frac =
+      static_cast<double>(docs) / static_cast<double>(total);
+  return (result.extraction_seconds * frac +
+          (result.ranking_cpu_seconds + result.detector_cpu_seconds) *
+              frac) /
+         60.0;
+}
+
+}  // namespace
+
+int main() {
+  Harness harness({RelationId::kPersonOrganization});
+  const RelationId relation = RelationId::kPersonOrganization;
+  const size_t seeds = NumSeeds();
+  const auto& full_pool = harness.test_pool();
+  const auto& outcomes = harness.world().outcome(relation);
+
+  // Target = useful documents in the 10% subset.
+  const std::vector<DocId> subset10(
+      full_pool.begin(), full_pool.begin() + full_pool.size() / 10);
+  const size_t target = outcomes.CountUseful(subset10);
+
+  std::printf(
+      "\nFigure 11: CPU time (min) to find %zu useful documents, "
+      "Person-Organization, vs collection size\n",
+      target);
+  std::printf("%-8s %12s %12s\n", "size%", "BAgg-IE", "RSVM-IE");
+
+  for (size_t pct = 10; pct <= 100; pct += 10) {
+    const size_t n = full_pool.size() * pct / 100;
+    const std::vector<DocId> pool(full_pool.begin(),
+                                  full_pool.begin() + n);
+    double minutes[2] = {0, 0};
+    int col = 0;
+    for (RankerKind kind : {RankerKind::kBAggIE, RankerKind::kRSVMIE}) {
+      for (size_t run = 0; run < seeds; ++run) {
+        PipelineConfig config = PipelineConfig::Defaults(
+            kind, SamplerKind::kSRS, UpdateKind::kModC,
+            RunSeed(1100 + pct, run));
+        config.sample_size =
+            std::max<size_t>(150, pool.size() * 6 / 100);
+        const PipelineResult result = AdaptiveExtractionPipeline::Run(
+            harness.SubsetContext(relation, &pool), config);
+        minutes[col] += MinutesToUsefulCount(result, target) /
+                        static_cast<double>(seeds);
+      }
+      ++col;
+    }
+    std::printf("%-8zu %12.2f %12.2f\n", pct, minutes[0], minutes[1]);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figures 3, 4, 5 — average recall vs. % processed documents for the BASE
+// (non-adaptive) ranking-generation techniques against FactCrawl, with the
+// random and perfect orderings as references. Paper relations: Fig 3 =
+// Person-Charge, Fig 4 = Disease-Outbreak (sparse), Fig 5 = Person-Career
+// (dense). Full-access scenario, SRS sampling, no adaptation.
+//
+// Expected shape (paper): RSVM-IE and BAgg-IE consistently above FC;
+// RSVM-IE stronger early and on sparse relations; BAgg-IE catches up (or
+// wins) late on non-sparse relations.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace ie;
+using namespace ie::bench;
+
+namespace {
+
+void RunFigure(Harness& harness, RelationId relation, const char* figure) {
+  const size_t seeds = NumSeeds();
+  const size_t sample = harness.SampleSize();
+  std::printf("\n%s: average recall (%%) for %s, base rankers, full access\n",
+              figure, GetRelation(relation).name.c_str());
+  std::printf("%-28s", "processed %:");
+  for (int p = 10; p <= 100; p += 10) std::printf(" %6d", p);
+  std::printf("\n");
+
+  auto run_ranker = [&](RankerKind kind, const char* label) {
+    const AggregateMetrics agg = RunExperiment(
+        label, seeds, [&](size_t run) {
+          PipelineConfig config = PipelineConfig::Defaults(
+              kind, SamplerKind::kSRS, UpdateKind::kNone,
+              RunSeed(static_cast<uint64_t>(kind) + 10, run));
+          config.sample_size = sample;
+          return AdaptiveExtractionPipeline::Run(
+              harness.Context(relation), config);
+        });
+    PrintCurve(agg);
+  };
+
+  run_ranker(RankerKind::kRandom, "Random Ranking");
+  run_ranker(RankerKind::kPerfect, "Perfect Ranking");
+  run_ranker(RankerKind::kBAggIE, "BAgg-IE");
+  run_ranker(RankerKind::kRSVMIE, "RSVM-IE");
+
+  const AggregateMetrics fc = RunExperiment(
+      "FC", seeds, [&](size_t run) {
+        FactCrawlConfig config;
+        config.adaptive = false;
+        config.sample_size = sample;
+        config.seed = RunSeed(99, run);
+        return FactCrawlPipeline::Run(harness.Context(relation), config);
+      });
+  PrintCurve(fc);
+}
+
+}  // namespace
+
+int main() {
+  Harness harness({RelationId::kPersonCharge, RelationId::kDiseaseOutbreak,
+                   RelationId::kPersonCareer});
+  RunFigure(harness, RelationId::kPersonCharge, "Figure 3");
+  RunFigure(harness, RelationId::kDiseaseOutbreak, "Figure 4");
+  RunFigure(harness, RelationId::kPersonCareer, "Figure 5");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 1 — "Relations for our experiments": useful-document count and
+// density per relation over the test split, as judged by each relation's
+// trained extraction system (paper: useful = produces >= 1 tuple).
+// Also reports gold-vs-extractor agreement (document-level precision /
+// recall of the extractor), which characterizes the substituted substrate.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ie;
+  bench::World world = bench::BuildWorld(bench::AllRelationIds());
+  const std::vector<DocId>& test = world.corpus.splits().test;
+
+  std::printf("Table 1: Relations for our experiments (test split: %zu docs)\n",
+              test.size());
+  std::printf("%-38s %10s %8s %8s | %7s %7s | %8s\n", "Relation", "Useful",
+              "Dens%", "Paper%", "DocPrec", "DocRec", "Cost s/d");
+  for (size_t i = 0; i < world.relations.size(); ++i) {
+    const RelationSpec& spec = GetRelation(world.relations[i]);
+    const ExtractionOutcomes& outcomes = world.outcomes[i];
+    const size_t useful = outcomes.CountUseful(test);
+
+    // Document-level extractor quality vs gold annotations.
+    size_t tp = 0, fp = 0, fn = 0;
+    for (DocId id : test) {
+      const bool gold = world.corpus.annotations(id).HasTupleFor(spec.id);
+      const bool pred = outcomes.useful(id);
+      tp += (gold && pred);
+      fp += (!gold && pred);
+      fn += (gold && !pred);
+    }
+    const double prec = tp + fp > 0 ? 100.0 * tp / (tp + fp) : 0.0;
+    const double rec = tp + fn > 0 ? 100.0 * tp / (tp + fn) : 0.0;
+
+    std::printf("%-38s %10zu %8.2f %8.2f | %6.1f%% %6.1f%% | %8.2f\n",
+                (spec.name + " (" + spec.code + ")").c_str(), useful,
+                100.0 * static_cast<double>(useful) /
+                    static_cast<double>(test.size()),
+                100.0 * spec.paper_density, prec, rec,
+                spec.extraction_cost_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Experiment harness shared by the table/figure benches: builds the corpus,
+// trains extractors, caches verdicts, prepares featurized pools, the
+// test-split search index, CQS query lists (learned on an auxiliary corpus,
+// the TREC substitute), and assembles PipelineContexts.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "bench_common.h"
+#include "eval/experiment.h"
+#include "pipeline/factcrawl_pipeline.h"
+#include "pipeline/pipeline.h"
+#include "sampling/cqs_learning.h"
+
+namespace ie::bench {
+
+class Harness {
+ public:
+  explicit Harness(std::vector<RelationId> relations,
+                   size_t num_docs = NumDocs())
+      : world_(BuildWorld(relations, num_docs)),
+        featurizer_(&world_.corpus.vocab()) {
+    WallTimer timer;
+    // Note: ComputeIdf + Featurizer::SetIdf are available, but idf-weighted
+    // features overfit the small initial samples (rare terms dominate), so
+    // the experiments use plain log-TF features; see the ablation bench.
+    word_features_ = FeaturizePool(world_.corpus, featurizer_);
+    index_ = BuildPoolIndex(world_.corpus, world_.corpus.splits().test);
+    std::fprintf(stderr, "[setup] features+index (%.1fs)\n",
+                 timer.ElapsedSeconds());
+  }
+
+  World& world() { return world_; }
+  Featurizer& featurizer() { return featurizer_; }
+  const std::vector<DocId>& test_pool() const {
+    return world_.corpus.splits().test;
+  }
+
+  /// Initial sample budget: ~6% of the pool. The paper's 2000-document
+  /// sample over 1.09M documents carries ~35 positives for a ~1.8%-dense
+  /// relation; this budget preserves that order of positives at bench
+  /// scale (metrics are computed after the warmup prefix; see
+  /// EvaluateRun).
+  size_t SampleSize() const {
+    return std::max<size_t>(300, test_pool().size() * 6 / 100);
+  }
+
+  /// CQS query lists for a relation (learned lazily on the aux corpus).
+  const std::vector<std::vector<std::string>>& CqsLists(RelationId relation) {
+    auto it = cqs_lists_.find(relation);
+    if (it != cqs_lists_.end()) return it->second;
+    EnsureAuxCorpus();
+    WallTimer timer;
+    ExtractionOutcomes aux_outcomes =
+        ExtractionOutcomes::Compute(world_.system(relation), *aux_corpus_);
+    CqsLearningOptions options;
+    options.seed = 61 + static_cast<uint64_t>(relation);
+    auto lists = LearnCqsQueryLists(*aux_corpus_, aux_outcomes,
+                                    aux_featurizer_.value(), options);
+    std::fprintf(stderr, "[setup] CQS lists for %s (%.1fs)\n",
+                 GetRelation(relation).code.c_str(), timer.ElapsedSeconds());
+    return cqs_lists_.emplace(relation, std::move(lists)).first->second;
+  }
+
+  /// Context over an arbitrary document pool (scalability experiments use
+  /// prefixes of the test split). The pool vector must outlive the run.
+  PipelineContext SubsetContext(RelationId relation,
+                                const std::vector<DocId>* pool) {
+    PipelineContext context = Context(relation);
+    context.pool = pool;
+    return context;
+  }
+
+  /// Time (minutes) a run needed to reach `target_recall`, charging the
+  /// per-document extraction cost plus a proportional share of the
+  /// measured ranking/detection overhead.
+  static double MinutesToRecall(const PipelineResult& result,
+                                double target_recall) {
+    const size_t total = result.processing_order.size();
+    if (total == 0) return 0.0;
+    size_t docs = DocsToReachRecall(result.processed_useful,
+                                    result.pool_useful, target_recall);
+    docs = std::min(docs, total);
+    const double frac =
+        static_cast<double>(docs) / static_cast<double>(total);
+    const double seconds =
+        result.extraction_seconds * frac +
+        (result.ranking_cpu_seconds + result.detector_cpu_seconds) * frac;
+    return seconds / 60.0;
+  }
+
+  /// Assembled pipeline context. When `cqs_list` >= 0, wires that learned
+  /// query list (needed by CQS sampling and by FactCrawl).
+  PipelineContext Context(RelationId relation, int cqs_list = -1) {
+    PipelineContext context;
+    context.corpus = &world_.corpus;
+    context.pool = &world_.corpus.splits().test;
+    context.outcomes = &world_.outcome(relation);
+    context.relation = &GetRelation(relation);
+    context.featurizer = &featurizer_;
+    context.word_features = &word_features_;
+    context.index = &index_;
+    if (cqs_list >= 0) {
+      const auto& lists = CqsLists(relation);
+      context.cqs_queries =
+          &lists[static_cast<size_t>(cqs_list) % lists.size()];
+    }
+    return context;
+  }
+
+ private:
+  void EnsureAuxCorpus() {
+    if (aux_corpus_ != nullptr) return;
+    WallTimer timer;
+    GeneratorOptions options;
+    options.num_documents = std::max<size_t>(4000, NumDocs() / 2);
+    options.seed = 777;  // independent of the evaluation corpus
+    options.shared_vocab = world_.corpus.shared_vocab();
+    aux_corpus_ = std::make_unique<Corpus>(GenerateCorpus(options));
+    aux_featurizer_.emplace(&aux_corpus_->vocab());
+    std::fprintf(stderr, "[setup] aux (TREC-substitute) corpus: %zu docs (%.1fs)\n",
+                 aux_corpus_->size(), timer.ElapsedSeconds());
+  }
+
+  World world_;
+  Featurizer featurizer_;
+  std::vector<SparseVector> word_features_;
+  InvertedIndex index_;
+  std::unique_ptr<Corpus> aux_corpus_;
+  std::optional<Featurizer> aux_featurizer_;
+  std::map<RelationId, std::vector<std::vector<std::string>>> cqs_lists_;
+};
+
+/// Seeds follow the paper's five-repetition protocol scaled by
+/// IE_BENCH_SEEDS; run r of a configuration uses seed base + r.
+inline uint64_t RunSeed(uint64_t base, size_t run) {
+  return base * 1000003ULL + run * 7919ULL + 1;
+}
+
+}  // namespace ie::bench

@@ -1,0 +1,70 @@
+// Bring your own extractor and your own text.
+//
+// The ranking pipeline treats the extraction system as a black box, so any
+// EntityRecognizer + RelationExtractor combination works. This example
+// builds a custom Disease-Outbreak extractor from the library's rule-based
+// parts (gazetteer + temporal regex + entity distance), runs it over raw
+// text ingested with the tokenizer, and prints the extracted tuples —
+// no synthetic corpus generator involved.
+//
+// Build & run:  ./build/examples/custom_extractor
+#include <cstdio>
+#include <memory>
+
+#include "extract/extraction_system.h"
+#include "extract/ner.h"
+#include "extract/relation_extractor.h"
+#include "text/tokenizer.h"
+
+using namespace ie;
+
+int main() {
+  auto vocab = std::make_shared<Vocabulary>();
+
+  // 1) Ingest raw text documents.
+  const char* articles[] = {
+      "A cholera outbreak began in march 1994 near the harbor district. "
+      "Health officials opened emergency clinics. Hundreds were treated.",
+      "Researchers published a new study of malaria treatments. "
+      "The study covered a full decade of field data.",
+      "Cases of dengue surged in august 2003 across the river villages. "
+      "In october 2003 the ministry declared the epidemic over.",
+      "The city council debated the new harbor bridge for hours.",
+  };
+  std::vector<Document> docs;
+  for (size_t i = 0; i < std::size(articles); ++i) {
+    docs.push_back(
+        TextToDocument(static_cast<DocId>(i), articles[i], *vocab));
+  }
+
+  // 2) Compose a custom extraction system from library parts.
+  std::vector<std::unique_ptr<EntityRecognizer>> recognizers;
+  recognizers.push_back(std::make_unique<GazetteerNer>(
+      EntityType::kDisease,
+      std::vector<std::string>{"cholera", "malaria", "dengue", "ebola"},
+      vocab.get()));
+  recognizers.push_back(std::make_unique<TemporalNer>(vocab.get()));
+  auto relation_extractor =
+      std::make_unique<DistanceRelationExtractor>(/*max_distance=*/4);
+
+  const ExtractionSystem system(GetRelation(RelationId::kDiseaseOutbreak),
+                                std::move(recognizers),
+                                std::move(relation_extractor));
+
+  // 3) Extract. Document 0 and 2 should yield tuples; document 1 mentions
+  // a disease with no nearby temporal expression; document 3 is useless.
+  for (const Document& doc : docs) {
+    const auto tuples = system.Process(doc);
+    std::printf("document %u: %s\n", doc.id,
+                tuples.empty() ? "useless" : "USEFUL");
+    for (const ExtractedTuple& t : tuples) {
+      std::printf("  <%s, %s> (sentence %u)\n", t.attr1.c_str(),
+                  t.attr2.c_str(), t.sentence);
+    }
+  }
+
+  std::printf(
+      "\nAny system exposing Process(doc) -> tuples can drive the adaptive\n"
+      "ranking pipeline; see quickstart.cpp for the ranking side.\n");
+  return 0;
+}

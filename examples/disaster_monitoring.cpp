@@ -1,0 +1,90 @@
+// Disaster monitoring: the paper's motivating workload.
+//
+// Extracting Occurs-in(NaturalDisaster, Location) tuples is slow (~6 s per
+// document with the paper's extractor), so processing order decides whether
+// the job takes days or weeks. This example runs the full adaptive pipeline
+// on the Natural Disaster-Location relation, prints sample extracted
+// tuples, shows where the model updates fired, and converts the ranking
+// advantage into (simulated) CPU-days saved.
+//
+// Build & run:  ./build/examples/disaster_monitoring
+#include <cstdio>
+
+#include "corpus/generator.h"
+#include "eval/experiment.h"
+#include "extract/extraction_system.h"
+#include "pipeline/pipeline.h"
+
+using namespace ie;
+
+int main() {
+  GeneratorOptions corpus_options;
+  corpus_options.num_documents = 6000;
+  corpus_options.seed = 21;
+  Corpus corpus = GenerateCorpus(corpus_options);
+
+  const RelationId relation = RelationId::kNaturalDisaster;
+  auto system = TrainExtractionSystem(relation, corpus.shared_vocab());
+  const ExtractionOutcomes outcomes =
+      ExtractionOutcomes::Compute(*system, corpus);
+
+  // Show a few extracted tuples: this is the structured output a downstream
+  // user actually wants.
+  std::printf("sample Occurs-in tuples:\n");
+  size_t shown = 0;
+  for (DocId id = 0; id < corpus.size() && shown < 5; ++id) {
+    for (const ExtractedTuple& t : outcomes.tuples(id)) {
+      std::printf("  doc %-6u <%s, %s>\n", id, t.attr1.c_str(),
+                  t.attr2.c_str());
+      if (++shown >= 5) break;
+    }
+  }
+
+  const auto& pool = corpus.splits().test;
+  Featurizer featurizer(&corpus.vocab());
+  const std::vector<SparseVector> word_features =
+      FeaturizePool(corpus, featurizer);
+
+  PipelineContext context;
+  context.corpus = &corpus;
+  context.pool = &pool;
+  context.outcomes = &outcomes;
+  context.relation = &GetRelation(relation);
+  context.featurizer = &featurizer;
+  context.word_features = &word_features;
+
+  PipelineConfig config = PipelineConfig::Defaults(
+      RankerKind::kRSVMIE, SamplerKind::kSRS, UpdateKind::kModC, 5);
+  config.sample_size = 150;
+  const PipelineResult adaptive =
+      AdaptiveExtractionPipeline::Run(context, config);
+
+  PipelineConfig random_config = PipelineConfig::Defaults(
+      RankerKind::kRandom, SamplerKind::kSRS, UpdateKind::kNone, 5);
+  random_config.sample_size = 150;
+  const PipelineResult random =
+      AdaptiveExtractionPipeline::Run(context, random_config);
+
+  std::printf("\npool: %zu documents, %zu useful; extractor cost %.0f s/doc\n",
+              pool.size(), adaptive.pool_useful,
+              GetRelation(relation).extraction_cost_seconds);
+  std::printf("model updates fired after processing:");
+  for (size_t pos : adaptive.update_positions) std::printf(" %zu", pos);
+  std::printf("\n\n%-12s %-24s %-24s\n", "recall", "adaptive RSVM-IE",
+              "random order");
+  for (double target : {0.5, 0.8, 0.95}) {
+    const size_t docs_a = DocsToReachRecall(adaptive.processed_useful,
+                                            adaptive.pool_useful, target);
+    const size_t docs_r = DocsToReachRecall(random.processed_useful,
+                                            random.pool_useful, target);
+    const double cost = GetRelation(relation).extraction_cost_seconds;
+    std::printf("%5.0f%%       %8zu docs (%5.1f h)  %8zu docs (%5.1f h)\n",
+                100.0 * target, docs_a, docs_a * cost / 3600.0, docs_r,
+                docs_r * cost / 3600.0);
+  }
+  std::printf(
+      "\nThe adaptive ranking reaches high recall after a fraction of the\n"
+      "extraction effort — on the paper's 1M-document collections this is\n"
+      "the difference between days and months of CPU time.\n");
+  return 0;
+}

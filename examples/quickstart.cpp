@@ -1,0 +1,78 @@
+// Quickstart: the 60-second tour.
+//
+// Generates a small synthetic news corpus, trains the Person-Charge
+// extraction system, and compares three ways of ordering the extraction:
+// random, RSVM-IE (base), and adaptive RSVM-IE with Mod-C update detection
+// — then prints how much of the collection each needs to process to find
+// 80% of the useful documents.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "corpus/generator.h"
+#include "eval/experiment.h"
+#include "extract/extraction_system.h"
+#include "pipeline/pipeline.h"
+
+using namespace ie;
+
+int main() {
+  // 1) A document collection (substitute your own corpus here).
+  GeneratorOptions corpus_options;
+  corpus_options.num_documents = 6000;
+  corpus_options.seed = 7;
+  Corpus corpus = GenerateCorpus(corpus_options);
+  std::printf("corpus: %zu documents, vocabulary %zu terms\n",
+              corpus.size(), corpus.vocab().size());
+
+  // 2) A trained, black-box information extraction system.
+  const RelationId relation = RelationId::kPersonCharge;
+  auto system = TrainExtractionSystem(relation, corpus.shared_vocab());
+  const ExtractionOutcomes outcomes =
+      ExtractionOutcomes::Compute(*system, corpus);
+  const auto& pool = corpus.splits().test;
+  std::printf("%s: %zu of %zu test documents are useful (%.2f%%)\n",
+              GetRelation(relation).name.c_str(),
+              outcomes.CountUseful(pool), pool.size(),
+              100.0 * outcomes.CountUseful(pool) / pool.size());
+
+  // 3) Shared featurization for the ranking models.
+  Featurizer featurizer(&corpus.vocab());
+  const std::vector<SparseVector> word_features =
+      FeaturizePool(corpus, featurizer);
+
+  PipelineContext context;
+  context.corpus = &corpus;
+  context.pool = &pool;
+  context.outcomes = &outcomes;
+  context.relation = &GetRelation(relation);
+  context.featurizer = &featurizer;
+  context.word_features = &word_features;
+
+  // 4) Run three ranking strategies and compare.
+  std::printf("\n%-28s %22s %10s\n", "strategy",
+              "docs to reach 80% recall", "AUC");
+  for (const auto& [ranker, update, label] :
+       std::vector<std::tuple<RankerKind, UpdateKind, const char*>>{
+           {RankerKind::kRandom, UpdateKind::kNone, "random order"},
+           {RankerKind::kRSVMIE, UpdateKind::kNone, "RSVM-IE (base)"},
+           {RankerKind::kRSVMIE, UpdateKind::kModC,
+            "RSVM-IE + Mod-C (adaptive)"}}) {
+    PipelineConfig config =
+        PipelineConfig::Defaults(ranker, SamplerKind::kSRS, update, 1);
+    config.sample_size = 150;
+    const PipelineResult result =
+        AdaptiveExtractionPipeline::Run(context, config);
+    const RunMetrics metrics = EvaluateRun(result);
+    const size_t docs = DocsToReachRecall(result.processed_useful,
+                                          result.pool_useful, 0.8);
+    std::printf("%-28s %14zu (%4.1f%%) %9.1f%%\n", label, docs,
+                100.0 * static_cast<double>(docs) /
+                    static_cast<double>(pool.size()),
+                100.0 * metrics.auc);
+  }
+  std::printf(
+      "\nAdaptive ranking finds the useful documents early: that is the\n"
+      "paper's headline result. See bench/ for the full reproduction.\n");
+  return 0;
+}

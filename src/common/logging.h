@@ -1,0 +1,64 @@
+// Minimal leveled logging to stderr. Benchmarks and the pipeline use INFO
+// for progress; tests typically run at WARN.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ie {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+/// Prints on destruction, then aborts. Used by IE_CHECK so the message is
+/// flushed before the process dies.
+class FatalLogMessage : public LogMessage {
+ public:
+  FatalLogMessage(const char* file, int line)
+      : LogMessage(LogLevel::kError, file, line) {}
+  [[noreturn]] ~FatalLogMessage();
+};
+
+}  // namespace internal
+}  // namespace ie
+
+#define IE_LOG_ENABLED(level) (::ie::LogLevel::level >= ::ie::GetLogLevel())
+
+#define IE_LOG(level)                             \
+  !IE_LOG_ENABLED(level)                          \
+      ? (void)0                                   \
+      : ::ie::internal::LogVoidify() &            \
+            ::ie::internal::LogMessage(           \
+                ::ie::LogLevel::level, __FILE__, __LINE__) \
+                .stream()
+
+#define IE_CHECK(cond)                                               \
+  (cond) ? (void)0                                                   \
+         : ::ie::internal::LogVoidify() &                            \
+               ::ie::internal::FatalLogMessage(__FILE__, __LINE__)   \
+                       .stream()                                     \
+                   << "Check failed: " #cond " "

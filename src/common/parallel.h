@@ -1,0 +1,38 @@
+// Minimal data-parallel helper (paper Section 6 future work: "exploring
+// parallelization approaches that, combined with the ranking-based
+// approach ... can further speed up the execution"). Used by the pipeline
+// to parallelize bulk re-rank scoring; results are deterministic because
+// each index writes only its own slot.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace ie {
+
+/// Runs fn(i) for i in [0, n) across up to `threads` std::threads, in
+/// contiguous blocks. threads <= 1 (or tiny n) degenerates to a serial
+/// loop. fn must be safe to call concurrently for distinct i.
+inline void ParallelFor(size_t n, size_t threads,
+                        const std::function<void(size_t)>& fn) {
+  if (threads <= 1 || n < 2 * threads) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const size_t block = (n + threads - 1) / threads;
+  for (size_t t = 0; t < threads; ++t) {
+    const size_t begin = t * block;
+    const size_t end = std::min(n, begin + block);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, begin, end] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace ie

@@ -1,0 +1,62 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace ie {
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  assert(n > 0);
+  assert(s > 0.0);
+  // Rejection-inversion sampling (Hörmann & Derflinger 1996) over the
+  // rank domain [1, n]; returns a 0-based rank.
+  const double e = 1.0 - s;
+  auto h = [&](double x) {
+    // Integral of x^-s (the "hat" CDF piece), with the s == 1 special case.
+    if (std::abs(e) < 1e-12) return std::log(x);
+    return std::pow(x, e) / e;
+  };
+  auto h_inv = [&](double x) {
+    if (std::abs(e) < 1e-12) return std::exp(x);
+    return std::pow(x * e, 1.0 / e);
+  };
+  const double hx0 = h(0.5) - 1.0;
+  const double hxn = h(static_cast<double>(n) + 0.5);
+  const double d = hxn - hx0;
+  while (true) {
+    const double u = hx0 + NextDouble() * d;
+    const double x = h_inv(u);
+    const uint64_t k = static_cast<uint64_t>(
+        std::clamp(std::floor(x + 0.5), 1.0, static_cast<double>(n)));
+    const double kd = static_cast<double>(k);
+    // Accept when u falls under the true pmf envelope at k.
+    if (u >= h(kd + 0.5) - std::pow(kd, -s)) {
+      return k - 1;
+    }
+  }
+}
+
+size_t Rng::NextCategorical(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  assert(total > 0.0);
+  double r = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  assert(k <= n);
+  std::vector<size_t> reservoir(k);
+  std::iota(reservoir.begin(), reservoir.end(), 0);
+  for (size_t i = k; i < n; ++i) {
+    const size_t j = static_cast<size_t>(NextBounded(i + 1));
+    if (j < k) reservoir[j] = i;
+  }
+  return reservoir;
+}
+
+}  // namespace ie

@@ -1,0 +1,40 @@
+// Small statistics helpers shared by the evaluation harness and benches.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace ie {
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Mean of a vector; 0 when empty.
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation; 0 for fewer than two elements.
+double StdDev(const std::vector<double>& xs);
+
+}  // namespace ie

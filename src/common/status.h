@@ -1,0 +1,132 @@
+// Status / StatusOr error handling, following the RocksDB / Arrow idiom:
+// library code never throws across module boundaries; fallible operations
+// return ie::Status or ie::StatusOr<T>.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ie {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Lightweight error-carrying result type. An OK status carries no message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(StatusCode::kOutOfRange, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, msg);
+  }
+  static Status Unimplemented(std::string_view msg) {
+    return Status(StatusCode::kUnimplemented, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: empty corpus".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string_view msg)
+      : code_(code), message_(msg) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result-or-error. Accessing value() on an error status aborts in debug
+/// builds; callers must check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK status requires a value");
+  }
+  StatusOr(T value)  // NOLINT
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ie
+
+/// Propagate a non-OK status to the caller.
+#define IE_RETURN_IF_ERROR(expr)                \
+  do {                                          \
+    ::ie::Status _ie_status = (expr);           \
+    if (!_ie_status.ok()) return _ie_status;    \
+  } while (0)
+
+/// Evaluate a StatusOr expression, propagating errors; on success bind the
+/// value to `lhs`. Usage: IE_ASSIGN_OR_RETURN(auto x, Compute());
+#define IE_ASSIGN_OR_RETURN(lhs, expr)                      \
+  IE_ASSIGN_OR_RETURN_IMPL_(                                \
+      IE_STATUS_CONCAT_(_ie_statusor_, __LINE__), lhs, expr)
+
+#define IE_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                              \
+  if (!var.ok()) return var.status();             \
+  lhs = std::move(var).value()
+
+#define IE_STATUS_CONCAT_(a, b) IE_STATUS_CONCAT_IMPL_(a, b)
+#define IE_STATUS_CONCAT_IMPL_(a, b) a##b

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ie {
+
+/// Split on any of the delimiter characters; empty pieces are dropped.
+std::vector<std::string_view> SplitString(std::string_view text,
+                                          std::string_view delims);
+
+/// Join pieces with a separator.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLowerAscii(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace ie

@@ -1,0 +1,46 @@
+// Ground-truth annotations recorded by the synthetic corpus generator.
+// Entity spans are used to train the learned extractors (HMM / MEMM /
+// CRF-lite / relation classifiers) on the training split; gold tuples are
+// used only by the generator and by evaluation code that characterizes the
+// corpus — the ranking pipeline itself sees extractor verdicts, never gold.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/relation.h"
+
+namespace ie {
+
+/// A gold entity mention: token span [begin, end) within one sentence.
+struct EntityMention {
+  uint32_t sentence = 0;
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  EntityType type = EntityType::kNone;
+  /// Canonical surface value, e.g. "san francisco".
+  std::string value;
+};
+
+/// A gold relation tuple planted in one sentence of a document.
+struct GoldTuple {
+  RelationId relation;
+  std::string attr1;
+  std::string attr2;
+  uint32_t sentence = 0;
+};
+
+struct DocAnnotations {
+  std::vector<EntityMention> mentions;
+  std::vector<GoldTuple> tuples;
+
+  bool HasTupleFor(RelationId relation) const {
+    for (const GoldTuple& t : tuples) {
+      if (t.relation == relation) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace ie

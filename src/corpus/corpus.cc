@@ -1,0 +1,22 @@
+#include "corpus/corpus.h"
+
+namespace ie {
+
+DocId Corpus::Add(Document doc, DocAnnotations annotations) {
+  const DocId id = static_cast<DocId>(docs_.size());
+  doc.id = id;
+  docs_.push_back(std::move(doc));
+  annotations_.push_back(std::move(annotations));
+  return id;
+}
+
+size_t Corpus::CountGoldUseful(RelationId relation,
+                               const std::vector<DocId>& ids) const {
+  size_t n = 0;
+  for (DocId id : ids) {
+    if (annotations_[id].HasTupleFor(relation)) ++n;
+  }
+  return n;
+}
+
+}  // namespace ie

@@ -1,0 +1,65 @@
+// The Corpus: documents + shared vocabulary + gold annotations +
+// train/dev/test splits. Mirrors the paper's NYT corpus setup (train
+// ~5%, development ~36%, test ~59% of documents).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/annotations.h"
+#include "text/document.h"
+#include "text/vocabulary.h"
+
+namespace ie {
+
+struct CorpusSplits {
+  std::vector<DocId> train;
+  std::vector<DocId> dev;
+  std::vector<DocId> test;
+};
+
+class Corpus {
+ public:
+  /// Creates a corpus over a fresh vocabulary, or over `vocab` when given —
+  /// auxiliary corpora (extractor training, query learning) share the main
+  /// corpus's vocabulary so token/feature ids are interchangeable.
+  explicit Corpus(std::shared_ptr<Vocabulary> vocab = nullptr)
+      : vocab_(vocab ? std::move(vocab) : std::make_shared<Vocabulary>()) {}
+
+  // Movable, not copyable (documents can be large).
+  Corpus(Corpus&&) = default;
+  Corpus& operator=(Corpus&&) = default;
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+
+  Vocabulary& vocab() { return *vocab_; }
+  const Vocabulary& vocab() const { return *vocab_; }
+  const std::shared_ptr<Vocabulary>& shared_vocab() const { return vocab_; }
+
+  size_t size() const { return docs_.size(); }
+
+  const Document& doc(DocId id) const { return docs_[id]; }
+  const DocAnnotations& annotations(DocId id) const {
+    return annotations_[id];
+  }
+
+  const CorpusSplits& splits() const { return splits_; }
+  CorpusSplits& mutable_splits() { return splits_; }
+
+  /// Appends a document with its annotations; returns the assigned id.
+  DocId Add(Document doc, DocAnnotations annotations);
+
+  /// Count of documents holding a gold tuple for `relation` among `ids`.
+  size_t CountGoldUseful(RelationId relation,
+                         const std::vector<DocId>& ids) const;
+
+ private:
+  std::shared_ptr<Vocabulary> vocab_;  // stable address for featurizers
+  std::vector<Document> docs_;
+  std::vector<DocAnnotations> annotations_;
+  CorpusSplits splits_;
+};
+
+}  // namespace ie

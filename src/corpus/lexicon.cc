@@ -1,0 +1,344 @@
+#include "corpus/lexicon.h"
+
+namespace ie {
+
+namespace {
+
+Lexicon* BuildLexicon() {
+  auto* lex = new Lexicon();
+
+  lex->person_first_names = {
+      "james",   "maria",  "robert",  "elena",   "michael", "sofia",
+      "david",   "laura",  "carlos",  "anna",    "peter",   "rachel",
+      "thomas",  "nadia",  "steven",  "claire",  "victor",  "diana",
+      "hassan",  "mei",    "andrei",  "fatima",  "george",  "ingrid",
+      "pablo",   "helena", "luis",    "monica",  "kenji",   "amara",
+      "walter",  "judith", "oscar",   "beatriz", "samuel",  "olga",
+      "henry",   "priya",  "daniel",  "greta"};
+
+  lex->person_last_names = {
+      "anderson",  "barrio",    "chen",      "dawson",    "ellis",
+      "fernandez", "gravano",   "hoffman",   "ivanov",    "jensen",
+      "kumar",     "lopez",     "morales",   "nakamura",  "ortega",
+      "petrov",    "quintana",  "ramirez",   "schneider", "takahashi",
+      "ueda",      "vasquez",   "walsh",     "ximenes",   "yamada",
+      "zhang",     "abbott",    "bennett",   "castillo",  "duarte",
+      "eriksen",   "fontaine",  "galhardas", "herrera",   "iglesias",
+      "johansson", "kowalski",  "lindberg",  "mendoza",   "novak",
+      "okafor",    "pereira",   "rossi",     "simoes",    "thorne",
+      "ulrich",    "vargas",    "weber",     "yoshida",   "zamora"};
+
+  lex->locations = {
+      "hawaii",       "california", "tokyo",      "manila",     "lisbon",
+      "jakarta",      "santiago",   "istanbul",   "oslo",       "nairobi",
+      "bogota",       "mumbai",     "osaka",      "athens",     "cairo",
+      "lima",         "dhaka",      "naples",     "seattle",    "miami",
+      "brussels",     "kathmandu",  "wellington", "reykjavik",  "anchorage",
+      "guatemala",    "sumatra",    "java",       "luzon",      "okinawa",
+      "kamchatka",    "sicily",     "crete",      "azores",     "galveston",
+      "charleston",   "kingston",   "dakar",      "managua",    "quito",
+      "ankara",       "tashkent",   "chengdu",    "kobe",       "valdivia",
+      "mindanao",     "honshu",     "oaxaca",     "antigua",    "martinique",
+      "fukushima",    "aceh",       "gujarat",    "sichuan",    "tohoku",
+      "puebla",       "arequipa",   "batangas",   "zagreb",     "porto"};
+
+  lex->org_stems = {
+      "acme",      "stellar",   "pinnacle", "meridian",  "vanguard",
+      "summit",    "horizon",   "atlas",    "beacon",    "cascade",
+      "dynamo",    "equinox",   "frontier", "granite",   "harbor",
+      "ironwood",  "juniper",   "keystone", "lighthouse", "monarch",
+      "northstar", "obsidian",  "paragon",  "quasar",    "redwood",
+      "sentinel",  "tidewater", "umbra",    "vertex",    "westbrook",
+      "yellowtail", "zenith",   "bluepeak", "copperline", "driftwood",
+      "everglade", "foxglove",  "greystone", "hollybrook", "ivyline"};
+
+  lex->org_suffixes = {"corporation", "industries", "laboratories",
+                       "university",  "institute",  "commission",
+                       "foundation",  "holdings",   "partners",
+                       "associates",  "systems",    "group"};
+
+  lex->diseases = {
+      "cholera",       "malaria",    "influenza",     "dengue",
+      "ebola",         "measles",    "tuberculosis",  "typhoid",
+      "meningitis",    "hepatitis",  "polio",         "diphtheria",
+      "salmonella",    "legionella", "encephalitis",  "anthrax",
+      "plague",        "hantavirus", "leptospirosis", "botulism",
+      "pertussis",     "rabies",     "smallpox",      "listeria",
+      "norovirus",     "rotavirus",  "shigella",      "trichinosis",
+      "cryptosporidium", "giardia"};
+
+  lex->charges = {
+      "fraud",          "embezzlement", "bribery",       "perjury",
+      "racketeering",   "extortion",    "larceny",       "arson",
+      "burglary",       "smuggling",    "counterfeiting", "forgery",
+      "manslaughter",   "kidnapping",   "assault",       "conspiracy",
+      "tax evasion",    "money laundering",              "insider trading",
+      "obstruction of justice",         "identity theft", "vandalism",
+      "trespassing",    "blackmail",    "theft"};
+
+  lex->careers = {
+      "engineer",   "senator",    "professor",  "surgeon",    "architect",
+      "journalist", "economist",  "diplomat",   "chemist",    "violinist",
+      "novelist",   "astronaut",  "biologist",  "cartographer", "editor",
+      "geologist",  "historian",  "judge",      "librarian",  "mathematician",
+      "negotiator", "oceanographer",            "physicist",  "prosecutor",
+      "sculptor",   "teacher",    "urbanist",   "veterinarian", "curator",
+      "ambassador", "chancellor", "director",   "pianist",    "linguist",
+      "pilot"};
+
+  lex->election_kinds = {
+      "presidential election", "mayoral election",   "senate race",
+      "gubernatorial election", "parliamentary election",
+      "congressional race",    "primary election",   "runoff election",
+      "municipal election",    "referendum"};
+
+  lex->months = {"january", "february", "march",     "april",   "may",
+                 "june",    "july",     "august",    "september",
+                 "october", "november", "december"};
+
+  lex->common_words = {
+      "the",    "of",     "and",    "a",      "to",      "in",     "is",
+      "was",    "for",    "on",     "that",   "by",      "with",   "as",
+      "at",     "from",   "his",    "her",    "it",      "an",     "were",
+      "which",  "be",     "this",   "has",    "had",     "their",  "are",
+      "not",    "but",    "have",   "been",   "who",     "its",    "more",
+      "after",  "also",   "they",   "he",     "she",     "two",    "other",
+      "new",    "first",  "year",   "years",  "time",    "people", "city",
+      "state",  "during", "about",  "into",   "than",    "over",   "when",
+      "last",   "made",   "said",   "against", "before", "between", "many",
+      "three",  "through", "under", "while",  "where",   "officials",
+      "report", "week",   "month",  "day",    "since",   "early",  "late",
+      "among",  "local",  "several", "including", "according", "area",
+      "region", "country", "national", "government", "public", "major",
+      "news",   "today",  "yesterday", "residents", "authorities", "near"};
+
+  auto& subtopics = lex->subtopics;
+  auto& topical = lex->topical_attribute;
+  topical[static_cast<size_t>(RelationId::kNaturalDisaster)] =
+      EntityType::kNaturalDisaster;
+  topical[static_cast<size_t>(RelationId::kManMadeDisaster)] =
+      EntityType::kManMadeDisaster;
+  topical[static_cast<size_t>(RelationId::kDiseaseOutbreak)] =
+      EntityType::kDisease;
+  topical[static_cast<size_t>(RelationId::kPersonCharge)] =
+      EntityType::kCharge;
+  topical[static_cast<size_t>(RelationId::kPersonCareer)] =
+      EntityType::kCareer;
+  topical[static_cast<size_t>(RelationId::kElectionWinner)] =
+      EntityType::kElection;
+  topical[static_cast<size_t>(RelationId::kPersonOrganization)] =
+      EntityType::kOrganization;
+
+  subtopics[static_cast<size_t>(RelationId::kNaturalDisaster)] = {
+      {"earthquake",
+       {"earthquake", "quake", "aftershock", "tremor", "seismic shock"},
+       {"richter", "hypocenter", "epicenter", "magnitude", "fault",
+        "seismograph", "seismologist", "tectonic", "rupture", "aftershocks",
+        "liquefaction", "subduction"},
+       0.34},
+      {"hurricane",
+       {"hurricane", "typhoon", "cyclone", "tropical storm", "storm surge"},
+       {"landfall", "windspeed", "evacuation", "barometric", "gusts",
+        "floodwater", "levee", "category", "meteorologist", "squall"},
+       0.27},
+      {"flood",
+       {"flood", "flash flood", "mudslide", "landslide", "avalanche"},
+       {"riverbank", "monsoon", "rainfall", "embankment", "reservoir",
+        "runoff", "saturation", "overflow", "deluge", "sediment"},
+       0.19},
+      {"tsunami",
+       {"tsunami", "tidal wave", "seiche"},
+       {"coastline", "seawall", "harbor wave", "inundation", "buoy",
+        "offshore", "receding", "warning sirens"},
+       0.11},
+      {"wildfire",
+       {"wildfire", "forest fire", "brush fire", "firestorm"},
+       {"containment", "firebreak", "acreage", "drought", "embers",
+        "firefighters", "smoke plume", "scorched"},
+       0.06},
+      // Deliberately rare: a small initial sample is unlikely to include a
+      // volcano document, reproducing the paper's motivating example.
+      {"volcano",
+       {"volcano eruption", "volcanic eruption", "lava flow", "ashfall"},
+       {"lava", "sulfuric", "magma", "caldera", "pyroclastic", "vent",
+        "crater", "volcanologist", "ash cloud", "fumarole"},
+       0.03},
+  };
+
+  subtopics[static_cast<size_t>(RelationId::kManMadeDisaster)] = {
+      {"explosion",
+       {"explosion", "blast", "gas explosion", "detonation"},
+       {"shrapnel", "pipeline", "refinery", "ignition", "debris",
+        "fireball", "casualties", "demolition"},
+       0.32},
+      {"spill",
+       {"oil spill", "chemical spill", "toxic leak", "gas leak"},
+       {"tanker", "containment boom", "slick", "benzene", "contamination",
+        "cleanup crews", "barrels", "hazmat"},
+       0.26},
+      {"crash",
+       {"train derailment", "plane crash", "ferry sinking", "bus crash"},
+       {"wreckage", "fuselage", "black box", "derailed", "collision",
+        "investigators", "manifest", "capsized"},
+       0.22},
+      {"collapse",
+       {"building collapse", "bridge collapse", "mine collapse",
+        "dam failure"},
+       {"scaffolding", "structural", "rubble", "girders", "inspection",
+        "excavation", "trapped workers", "engineers"},
+       0.14},
+      {"fire",
+       {"factory fire", "warehouse fire", "apartment fire"},
+       {"sprinklers", "smoke inhalation", "alarm", "exits", "arson squad",
+        "flammable", "code violations"},
+       0.06},
+  };
+
+  subtopics[static_cast<size_t>(RelationId::kDiseaseOutbreak)] = {
+      {"waterborne",
+       {"cholera", "typhoid", "salmonella", "shigella", "giardia",
+        "cryptosporidium", "norovirus", "rotavirus", "listeria"},
+       {"sanitation", "wells", "sewage", "contaminated water", "boiling",
+        "chlorination", "latrines", "drinking water"},
+       0.40},
+      {"respiratory",
+       {"influenza", "tuberculosis", "measles", "pertussis", "diphtheria",
+        "meningitis", "smallpox", "legionella"},
+       {"vaccination", "wards", "respirators", "immunization", "clinics",
+        "isolation", "coughing", "pneumonia"},
+       0.35},
+      {"vectorborne",
+       {"malaria", "dengue", "encephalitis", "leptospirosis", "plague",
+        "rabies", "trichinosis"},
+       {"mosquitoes", "nets", "larvicide", "swamps", "rodents", "fleas",
+        "insecticide", "stagnant"},
+       0.18},
+      {"exotic",
+       {"ebola", "anthrax", "hantavirus", "botulism", "polio", "hepatitis"},
+       {"hemorrhagic", "biosafety", "spores", "quarantine zone",
+        "field hospital", "protective suits"},
+       0.07},
+  };
+
+  subtopics[static_cast<size_t>(RelationId::kPersonCharge)] = {
+      {"whitecollar",
+       {"fraud", "embezzlement", "insider trading", "tax evasion",
+        "money laundering", "counterfeiting", "forgery", "bribery"},
+       {"auditors", "ledgers", "offshore", "securities", "regulators",
+        "accounts", "shell companies", "wiretaps"},
+       0.42},
+      {"violent",
+       {"manslaughter", "assault", "kidnapping", "arson"},
+       {"detectives", "forensics", "witnesses", "crime scene", "autopsy",
+        "ballistics", "precinct"},
+       0.30},
+      {"property",
+       {"larceny", "burglary", "theft", "smuggling", "vandalism",
+        "trespassing"},
+       {"stolen goods", "pawnshop", "surveillance", "warehouse raids",
+        "fence", "customs"},
+       0.18},
+      {"corruption",
+       {"perjury", "racketeering", "extortion", "obstruction of justice",
+        "blackmail", "conspiracy", "identity theft"},
+       {"grand jury", "informant", "subpoena", "kickbacks", "city hall",
+        "testimony", "immunity deal"},
+       0.10},
+  };
+
+  subtopics[static_cast<size_t>(RelationId::kElectionWinner)] = {
+      {"national",
+       {"presidential election", "parliamentary election", "referendum"},
+       {"electorate", "landslide", "concession", "exit polls", "coalition",
+        "inauguration", "manifesto"},
+       0.45},
+      {"local",
+       {"mayoral election", "municipal election", "gubernatorial election"},
+       {"precinct", "turnout", "canvassing", "town hall", "ward",
+        "incumbent", "ballot measures"},
+       0.35},
+      {"legislative",
+       {"senate race", "congressional race", "primary election",
+        "runoff election"},
+       {"nomination", "caucus", "swing districts", "fundraising",
+        "endorsement", "debates", "polling average"},
+       0.20},
+  };
+
+  subtopics[static_cast<size_t>(RelationId::kPersonCareer)] = {
+      {"science",
+       {"engineer", "chemist", "biologist", "physicist", "geologist",
+        "mathematician", "oceanographer", "astronaut", "cartographer"},
+       {"laboratory", "research grant", "publications", "experiments",
+        "patents", "fieldwork", "symposium"},
+       0.35},
+      {"arts",
+       {"violinist", "novelist", "sculptor", "pianist", "curator",
+        "editor", "journalist"},
+       {"gallery", "manuscript", "recital", "exhibition", "critics",
+        "anthology", "studio"},
+       0.25},
+      {"law_government",
+       {"senator", "judge", "diplomat", "prosecutor", "ambassador",
+        "chancellor", "negotiator", "economist"},
+       {"chambers", "legislation", "treaty", "cabinet", "ruling",
+        "delegation", "ministry"},
+       0.25},
+      {"academia_medicine",
+       {"professor", "surgeon", "teacher", "librarian", "historian",
+        "veterinarian", "linguist", "architect", "urbanist", "pilot",
+        "director"},
+       {"faculty", "residency", "curriculum", "dissertation", "lecture",
+        "clinic", "archives"},
+       0.15},
+  };
+
+  subtopics[static_cast<size_t>(RelationId::kPersonOrganization)] = {
+      {"corporate",
+       {"corporation", "industries", "holdings", "partners", "systems",
+        "group"},
+       {"merger", "shareholders", "quarterly", "revenue", "startup",
+        "executive", "board", "subsidiary", "payroll", "layoffs"},
+       0.60},
+      {"institutional",
+       {"university", "institute", "laboratories", "foundation",
+        "commission", "associates"},
+       {"endowment", "trustees", "fellowship", "campus", "charter",
+        "grants", "provost", "advisory panel"},
+       0.40},
+  };
+
+  auto& triggers = lex->triggers;
+  triggers[static_cast<size_t>(RelationId::kPersonOrganization)] = {
+      "joined",        "works for",     "was hired by", "leads",
+      "is employed by", "resigned from", "chairs",       "founded"};
+  triggers[static_cast<size_t>(RelationId::kDiseaseOutbreak)] = {
+      "outbreak began in", "cases surged in", "epidemic declared in",
+      "outbreak reported in", "spread rapidly in"};
+  triggers[static_cast<size_t>(RelationId::kPersonCareer)] = {
+      "is a",  "became a", "worked as a", "serves as a",
+      "was a", "trained as a", "retired as a"};
+  triggers[static_cast<size_t>(RelationId::kNaturalDisaster)] = {
+      "struck",     "hit",          "swept the coast of", "devastated",
+      "ravaged",    "shook",        "flattened",          "battered"};
+  triggers[static_cast<size_t>(RelationId::kManMadeDisaster)] = {
+      "occurred in", "rocked", "devastated", "shut down", "paralyzed",
+      "struck"};
+  triggers[static_cast<size_t>(RelationId::kPersonCharge)] = {
+      "was charged with", "was indicted for", "was convicted of",
+      "faces charges of", "pleaded guilty to", "was accused of"};
+  triggers[static_cast<size_t>(RelationId::kElectionWinner)] = {
+      "was won by",      "was claimed by", "ended in victory for",
+      "was captured by", "went to"};
+
+  return lex;
+}
+
+}  // namespace
+
+const Lexicon& GetLexicon() {
+  static const Lexicon* kLexicon = BuildLexicon();
+  return *kLexicon;
+}
+
+}  // namespace ie

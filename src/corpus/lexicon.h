@@ -1,0 +1,56 @@
+// Curated lexicons for the synthetic news corpus: entity name pools,
+// relation trigger phrases, and topical flavor vocabulary. Multi-token
+// entries are space-separated; the generator interns individual tokens.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/relation.h"
+
+namespace ie {
+
+struct Lexicon {
+  std::vector<std::string> person_first_names;
+  std::vector<std::string> person_last_names;
+  std::vector<std::string> locations;
+  /// Organization name stems; combined with org_suffixes by the generator.
+  std::vector<std::string> org_stems;
+  std::vector<std::string> org_suffixes;
+  std::vector<std::string> diseases;
+  std::vector<std::string> charges;
+  std::vector<std::string> careers;
+  std::vector<std::string> election_kinds;
+  std::vector<std::string> months;
+  /// High-frequency function words mixed into every document.
+  std::vector<std::string> common_words;
+
+  /// Every relation's useful documents cluster into subtopics with their
+  /// own characteristic entity subset and flavor vocabulary, at skewed
+  /// prevalence — so a small document sample misses the rare subtopics
+  /// (e.g. the volcano subtopic carrying "lava", "sulfuric": the paper's
+  /// motivating sample-miss example). This heterogeneity is what defeats
+  /// fixed sample-derived queries and what adaptive ranking recovers.
+  struct Subtopic {
+    std::string name;
+    /// Subtopic-specific values of the relation's topical attribute
+    /// (disaster terms, disease names, charges, careers, election kinds;
+    /// organization-name suffixes for PO).
+    std::vector<std::string> entity_terms;
+    std::vector<std::string> flavor_words;
+    /// Relative prevalence among the relation's useful documents.
+    double prevalence = 1.0;
+  };
+  std::vector<Subtopic> subtopics[kNumRelations];
+
+  /// The attribute whose values are subtopic-specific, per relation.
+  EntityType topical_attribute[kNumRelations];
+
+  /// Trigger phrases connecting attr1 to attr2 for each relation.
+  std::vector<std::string> triggers[kNumRelations];
+};
+
+/// Global immutable lexicon instance.
+const Lexicon& GetLexicon();
+
+}  // namespace ie

@@ -1,0 +1,80 @@
+#include "corpus/relation.h"
+
+#include <cassert>
+
+namespace ie {
+
+const std::vector<RelationSpec>& AllRelations() {
+  // Densities from Table 1. Extraction costs follow the paper where stated
+  // (ND ~6 s/doc, PO ~0.01 s/doc); the others are assigned to preserve the
+  // paper's "variety of extraction speeds" (Section 4).
+  static const std::vector<RelationSpec>* kRelations =
+      new std::vector<RelationSpec>{
+          {RelationId::kPersonOrganization, "PO",
+           "Person-Organization Affiliation", EntityType::kPerson,
+           EntityType::kOrganization, 0.1695, 0.01, /*dense=*/true},
+          {RelationId::kDiseaseOutbreak, "DO", "Disease-Outbreak",
+           EntityType::kDisease, EntityType::kTemporal, 0.0008, 0.05,
+           /*dense=*/false},
+          {RelationId::kPersonCareer, "PC", "Person-Career",
+           EntityType::kPerson, EntityType::kCareer, 0.4216, 2.0,
+           /*dense=*/true},
+          {RelationId::kNaturalDisaster, "ND", "Natural Disaster-Location",
+           EntityType::kNaturalDisaster, EntityType::kLocation, 0.0169, 6.0,
+           /*dense=*/false},
+          {RelationId::kManMadeDisaster, "MD", "Man Made Disaster-Location",
+           EntityType::kManMadeDisaster, EntityType::kLocation, 0.0146, 4.0,
+           /*dense=*/false},
+          {RelationId::kPersonCharge, "PH", "Person-Charge",
+           EntityType::kPerson, EntityType::kCharge, 0.0177, 2.0,
+           /*dense=*/false},
+          {RelationId::kElectionWinner, "EW", "Election-Winner",
+           EntityType::kElection, EntityType::kPerson, 0.0050, 2.0,
+           /*dense=*/false},
+      };
+  return *kRelations;
+}
+
+const RelationSpec& GetRelation(RelationId id) {
+  const auto& all = AllRelations();
+  const size_t idx = static_cast<size_t>(id);
+  assert(idx < all.size());
+  return all[idx];
+}
+
+const RelationSpec* FindRelationByCode(const std::string& code) {
+  for (const RelationSpec& spec : AllRelations()) {
+    if (spec.code == code) return &spec;
+  }
+  return nullptr;
+}
+
+const char* EntityTypeName(EntityType type) {
+  switch (type) {
+    case EntityType::kNone:
+      return "None";
+    case EntityType::kPerson:
+      return "Person";
+    case EntityType::kLocation:
+      return "Location";
+    case EntityType::kOrganization:
+      return "Organization";
+    case EntityType::kDisease:
+      return "Disease";
+    case EntityType::kNaturalDisaster:
+      return "NaturalDisaster";
+    case EntityType::kManMadeDisaster:
+      return "ManMadeDisaster";
+    case EntityType::kCharge:
+      return "Charge";
+    case EntityType::kCareer:
+      return "Career";
+    case EntityType::kElection:
+      return "Election";
+    case EntityType::kTemporal:
+      return "Temporal";
+  }
+  return "Unknown";
+}
+
+}  // namespace ie

@@ -1,0 +1,86 @@
+#include "corpus/topic_model.h"
+
+#include "common/string_util.h"
+
+namespace ie {
+
+namespace {
+constexpr double kZipfExponent = 1.1;
+
+const char* const kOnsets[] = {"b",  "br", "c",  "cl", "d",  "dr", "f",
+                               "fl", "g",  "gr", "h",  "j",  "k",  "l",
+                               "m",  "n",  "p",  "pl", "r",  "s",  "st",
+                               "t",  "tr", "v",  "w",  "z",  "sh", "ch"};
+const char* const kVowels[] = {"a", "e", "i", "o", "u", "ai", "ea", "ou"};
+const char* const kCodas[] = {"",  "",  "",  "n", "r", "l",
+                              "s", "m", "t", "x", "nd"};
+}  // namespace
+
+std::string WordForge::NextWord() {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const int syllables = 2 + static_cast<int>(rng_->NextBounded(3));
+    std::string word;
+    for (int s = 0; s < syllables; ++s) {
+      word += kOnsets[rng_->NextBounded(std::size(kOnsets))];
+      word += kVowels[rng_->NextBounded(std::size(kVowels))];
+      if (s + 1 == syllables) {
+        word += kCodas[rng_->NextBounded(std::size(kCodas))];
+      }
+    }
+    if (used_.insert(word).second) return word;
+  }
+  // Practically unreachable: fall back to a numbered word.
+  std::string word = StrFormat("wordx%zu", used_.size());
+  used_.insert(word);
+  return word;
+}
+
+TopicModel::TopicModel(Vocabulary* vocab, size_t num_topics,
+                       size_t words_per_topic, Rng* rng)
+    : vocab_(vocab), forge_(rng) {
+  topics_.reserve(num_topics);
+  weights_.reserve(num_topics);
+  for (size_t t = 0; t < num_topics; ++t) {
+    Topic topic;
+    topic.name = StrFormat("background_%zu", t);
+    topic.words.reserve(words_per_topic);
+    for (size_t w = 0; w < words_per_topic; ++w) {
+      topic.words.push_back(vocab_->Intern(forge_.NextWord()));
+    }
+    // Zipf-ish prevalence over topics: a handful of big topics, long tail.
+    topic.weight = 1.0 / std::pow(static_cast<double>(t + 1), 0.7);
+    weights_.push_back(topic.weight);
+    topics_.push_back(std::move(topic));
+  }
+}
+
+TokenId TopicModel::SampleWord(const Topic& topic, Rng* rng) const {
+  const uint64_t rank = rng->NextZipf(topic.words.size(), kZipfExponent);
+  return topic.words[rank];
+}
+
+size_t TopicModel::SampleTopic(Rng* rng) const {
+  return rng->NextCategorical(weights_);
+}
+
+Topic TopicModel::MakeTopicFromWords(
+    const std::string& name, const std::vector<std::string>& surface_words,
+    size_t extra_synthetic, double weight, Rng* rng) {
+  Topic topic;
+  topic.name = name;
+  topic.weight = weight;
+  for (const std::string& word : surface_words) {
+    // Multi-token surface entries contribute each token.
+    for (const auto& piece : SplitString(word, " ")) {
+      topic.words.push_back(vocab_->Intern(piece));
+    }
+  }
+  for (size_t i = 0; i < extra_synthetic; ++i) {
+    topic.words.push_back(vocab_->Intern(forge_.NextWord()));
+  }
+  // Shuffle so surface words are not always the most-frequent Zipf ranks.
+  rng->Shuffle(topic.words);
+  return topic;
+}
+
+}  // namespace ie

@@ -1,0 +1,73 @@
+// Synthetic topical vocabulary. Background topics (and relation subtopics)
+// each own a Zipf-distributed pool of generated pronounceable words; word
+// pools overlap only by construction of the shared common-word list, so
+// topical skew — the property the paper's ranking models exploit — is
+// explicit and controllable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "text/document.h"
+#include "text/vocabulary.h"
+
+namespace ie {
+
+struct Topic {
+  std::string name;
+  /// Topical word ids, most-frequent first (sampled with a Zipf law).
+  std::vector<TokenId> words;
+  /// Relative prevalence of this topic in the collection.
+  double weight = 1.0;
+};
+
+/// Generates a unique pronounceable synthetic word (CV-syllable based).
+/// Appends to `used` to guarantee global uniqueness across calls.
+class WordForge {
+ public:
+  explicit WordForge(Rng* rng) : rng_(rng) {}
+
+  std::string NextWord();
+
+ private:
+  Rng* rng_;
+  std::unordered_set<std::string> used_;
+};
+
+/// Collection of background topics over a shared vocabulary.
+class TopicModel {
+ public:
+  /// Builds `num_topics` topics with `words_per_topic` fresh synthetic words
+  /// each, interned into `vocab`. Topic prevalence follows a Zipf law so a
+  /// few topics dominate, as in real news collections.
+  TopicModel(Vocabulary* vocab, size_t num_topics, size_t words_per_topic,
+             Rng* rng);
+
+  size_t NumTopics() const { return topics_.size(); }
+  const Topic& topic(size_t i) const { return topics_[i]; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Samples a word id from a topic (Zipf within the topic's pool).
+  TokenId SampleWord(const Topic& topic, Rng* rng) const;
+
+  /// Samples a topic index according to prevalence weights.
+  size_t SampleTopic(Rng* rng) const;
+
+  /// Builds an ad-hoc topic from explicit surface words (interned) plus
+  /// `extra_synthetic` fresh words; used for relation subtopics.
+  Topic MakeTopicFromWords(const std::string& name,
+                           const std::vector<std::string>& surface_words,
+                           size_t extra_synthetic, double weight,
+                           Rng* rng);
+
+ private:
+  Vocabulary* vocab_;
+  WordForge forge_;
+  std::vector<Topic> topics_;
+  std::vector<double> weights_;
+};
+
+}  // namespace ie

@@ -1,0 +1,47 @@
+#include "eval/diversity.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace ie {
+
+std::vector<DiversityCurvePoint> TupleDiversityCurve(
+    const std::vector<DocId>& processing_order,
+    const ExtractionOutcomes& outcomes, size_t points) {
+  std::vector<DiversityCurvePoint> curve;
+  if (processing_order.empty() || points == 0) return curve;
+
+  std::unordered_set<std::string> tuples, attr1, attr2;
+  const size_t n = processing_order.size();
+  size_t next_checkpoint = 1;
+  for (size_t i = 0; i < n; ++i) {
+    for (const ExtractedTuple& t : outcomes.tuples(processing_order[i])) {
+      tuples.insert(t.attr1 + "\x1f" + t.attr2);
+      attr1.insert(t.attr1);
+      attr2.insert(t.attr2);
+    }
+    // Emit checkpoints at ceil(k*n/points) boundaries.
+    while (next_checkpoint <= points &&
+           i + 1 >= (next_checkpoint * n + points - 1) / points) {
+      curve.push_back({i + 1, tuples.size(), attr1.size(), attr2.size()});
+      ++next_checkpoint;
+    }
+  }
+  return curve;
+}
+
+double EarlyDiversityIndex(const std::vector<DocId>& processing_order,
+                           const ExtractionOutcomes& outcomes,
+                           size_t points) {
+  const auto curve = TupleDiversityCurve(processing_order, outcomes, points);
+  if (curve.empty() || curve.back().distinct_tuples == 0) return 0.0;
+  const double final_count =
+      static_cast<double>(curve.back().distinct_tuples);
+  double sum = 0.0;
+  for (const DiversityCurvePoint& p : curve) {
+    sum += static_cast<double>(p.distinct_tuples) / final_count;
+  }
+  return sum / static_cast<double>(curve.size());
+}
+
+}  // namespace ie

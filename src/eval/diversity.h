@@ -1,0 +1,37 @@
+// Extension (paper Section 6, future work): "characterize ranking models
+// according to the diversity of the tuples that they tend to produce."
+// Measures how quickly a processing order accumulates *distinct* tuples
+// and distinct attribute values, relative to the documents processed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "extract/extraction_system.h"
+#include "text/document.h"
+
+namespace ie {
+
+struct DiversityCurvePoint {
+  size_t documents_processed = 0;
+  size_t distinct_tuples = 0;
+  size_t distinct_attr1_values = 0;
+  size_t distinct_attr2_values = 0;
+};
+
+/// Cumulative distinct-tuple counts along a processing order, sampled at
+/// `points` evenly spaced checkpoints (plus the final state). Tuples are
+/// keyed by (attr1, attr2); the sentence index is ignored so the same fact
+/// found in two documents counts once.
+std::vector<DiversityCurvePoint> TupleDiversityCurve(
+    const std::vector<DocId>& processing_order,
+    const ExtractionOutcomes& outcomes, size_t points = 10);
+
+/// Area-under-curve style scalar: mean fraction of the final distinct-tuple
+/// count that is already discovered at each checkpoint. Higher = the order
+/// surfaces diverse tuples earlier. 0 when no tuples are produced.
+double EarlyDiversityIndex(const std::vector<DocId>& processing_order,
+                           const ExtractionOutcomes& outcomes,
+                           size_t points = 20);
+
+}  // namespace ie

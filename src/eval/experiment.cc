@@ -1,0 +1,94 @@
+#include "eval/experiment.h"
+
+#include <cstdio>
+
+namespace ie {
+
+RunMetrics EvaluateRun(PipelineResult result, bool include_warmup) {
+  const size_t skip =
+      include_warmup ? 0
+                     : std::min(result.warmup_documents,
+                                result.processed_useful.size());
+  std::vector<uint8_t> suffix(result.processed_useful.begin() + skip,
+                              result.processed_useful.end());
+  size_t warmup_useful = 0;
+  for (size_t i = 0; i < skip; ++i) {
+    warmup_useful += result.processed_useful[i];
+  }
+  const size_t denom = result.pool_useful - warmup_useful;
+
+  RunMetrics metrics;
+  metrics.recall_curve = RecallCurve(suffix, denom);
+  metrics.average_precision = AveragePrecision(suffix, denom);
+  metrics.auc = RocAuc(suffix);
+  metrics.raw = std::move(result);
+  return metrics;
+}
+
+AggregateMetrics RunExperiment(
+    const std::string& label, size_t num_seeds,
+    const std::function<PipelineResult(size_t)>& run) {
+  AggregateMetrics agg;
+  agg.label = label;
+  agg.runs = num_seeds;
+
+  std::vector<double> aps, aucs;
+  RunningStats updates, extraction, ranking, detector, total;
+  for (size_t s = 0; s < num_seeds; ++s) {
+    const RunMetrics metrics = EvaluateRun(run(s));
+    if (agg.mean_recall_curve.empty()) {
+      agg.mean_recall_curve.assign(metrics.recall_curve.size(), 0.0);
+    }
+    for (size_t i = 0; i < metrics.recall_curve.size(); ++i) {
+      agg.mean_recall_curve[i] +=
+          metrics.recall_curve[i] / static_cast<double>(num_seeds);
+    }
+    aps.push_back(metrics.average_precision);
+    aucs.push_back(metrics.auc);
+    updates.Add(static_cast<double>(metrics.raw.NumUpdates()));
+    extraction.Add(metrics.raw.extraction_seconds);
+    ranking.Add(metrics.raw.ranking_cpu_seconds);
+    detector.Add(metrics.raw.detector_cpu_seconds);
+    total.Add(metrics.raw.TotalSeconds());
+  }
+  agg.ap_mean = Mean(aps);
+  agg.ap_std = StdDev(aps);
+  agg.auc_mean = Mean(aucs);
+  agg.auc_std = StdDev(aucs);
+  agg.updates_mean = updates.mean();
+  agg.extraction_seconds_mean = extraction.mean();
+  agg.ranking_cpu_seconds_mean = ranking.mean();
+  agg.detector_cpu_seconds_mean = detector.mean();
+  agg.total_seconds_mean = total.mean();
+  return agg;
+}
+
+void PrintCurve(const AggregateMetrics& metrics, size_t step_percent) {
+  std::printf("%-28s", metrics.label.c_str());
+  const size_t points = metrics.mean_recall_curve.size() - 1;
+  for (size_t p = step_percent; p <= 100; p += step_percent) {
+    const size_t idx = p * points / 100;
+    std::printf(" %6.1f", 100.0 * metrics.mean_recall_curve[idx]);
+  }
+  std::printf("\n");
+}
+
+void PrintCurveWithUpdates(const AggregateMetrics& metrics,
+                           size_t step_percent) {
+  std::printf("%-28s", metrics.label.c_str());
+  const size_t points = metrics.mean_recall_curve.size() - 1;
+  for (size_t p = step_percent; p <= 100; p += step_percent) {
+    const size_t idx = p * points / 100;
+    std::printf(" %6.1f", 100.0 * metrics.mean_recall_curve[idx]);
+  }
+  std::printf("   (%.1f updates)\n", metrics.updates_mean);
+}
+
+void PrintApAucRow(const AggregateMetrics& metrics) {
+  std::printf("%-28s  AP %5.1f±%4.1f%%   AUC %5.1f±%4.1f%%\n",
+              metrics.label.c_str(), 100.0 * metrics.ap_mean,
+              100.0 * metrics.ap_std, 100.0 * metrics.auc_mean,
+              100.0 * metrics.auc_std);
+}
+
+}  // namespace ie

@@ -1,0 +1,88 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ie {
+
+std::vector<double> RecallCurve(const std::vector<uint8_t>& useful_in_order,
+                                size_t total_useful, size_t points) {
+  std::vector<double> curve(points + 1, 0.0);
+  if (useful_in_order.empty() || total_useful == 0) return curve;
+  const size_t n = useful_in_order.size();
+
+  // Prefix counts of useful documents.
+  size_t found = 0;
+  std::vector<size_t> prefix(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    found += useful_in_order[i];
+    prefix[i + 1] = found;
+  }
+  for (size_t p = 0; p <= points; ++p) {
+    const size_t k = static_cast<size_t>(
+        std::llround(static_cast<double>(n) * static_cast<double>(p) /
+                     static_cast<double>(points)));
+    curve[p] = static_cast<double>(prefix[std::min(k, n)]) /
+               static_cast<double>(total_useful);
+  }
+  return curve;
+}
+
+double AveragePrecision(const std::vector<uint8_t>& useful_in_order,
+                        size_t total_useful) {
+  if (total_useful == 0) return 0.0;
+  double sum = 0.0;
+  size_t found = 0;
+  for (size_t i = 0; i < useful_in_order.size(); ++i) {
+    if (useful_in_order[i] != 0) {
+      ++found;
+      sum += static_cast<double>(found) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(total_useful);
+}
+
+double RocAuc(const std::vector<uint8_t>& useful_in_order) {
+  // AUC = (normalized) Mann-Whitney U of positives ranked before negatives.
+  size_t positives = 0, negatives = 0;
+  double wins = 0.0;  // negative docs processed after each positive
+  size_t negatives_seen = 0;
+  for (uint8_t u : useful_in_order) {
+    if (u != 0) {
+      ++positives;
+      wins += static_cast<double>(negatives_seen);  // negatives before it
+    } else {
+      ++negatives_seen;
+    }
+  }
+  negatives = negatives_seen;
+  if (positives == 0 || negatives == 0) return 0.5;
+  // "wins" counted negatives *before* each positive: those are losses.
+  const double total =
+      static_cast<double>(positives) * static_cast<double>(negatives);
+  return 1.0 - wins / total;
+}
+
+double RecallAt(const std::vector<uint8_t>& useful_in_order,
+                size_t total_useful, size_t k) {
+  if (total_useful == 0) return 0.0;
+  size_t found = 0;
+  const size_t n = std::min(k, useful_in_order.size());
+  for (size_t i = 0; i < n; ++i) found += useful_in_order[i];
+  return static_cast<double>(found) / static_cast<double>(total_useful);
+}
+
+size_t DocsToReachRecall(const std::vector<uint8_t>& useful_in_order,
+                         size_t total_useful, double target_recall) {
+  if (total_useful == 0) return 0;
+  const double target =
+      target_recall * static_cast<double>(total_useful);
+  size_t found = 0;
+  for (size_t i = 0; i < useful_in_order.size(); ++i) {
+    found += useful_in_order[i];
+    if (static_cast<double>(found) + 1e-9 >= target) return i + 1;
+  }
+  return useful_in_order.size() + 1;
+}
+
+}  // namespace ie

@@ -1,0 +1,39 @@
+// Evaluation metrics (paper Section 4): average recall at points of the
+// extraction, average precision over all ranking positions, and the area
+// under the ROC curve — all computed over a processing order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ie {
+
+/// Recall after processing each fraction of the pool, evaluated on a fixed
+/// percent grid [0, 100] with `points+1` entries. `useful_in_order[i]` is
+/// the verdict of the i-th processed document; `total_useful` is the
+/// recall denominator (useful documents in the whole pool).
+std::vector<double> RecallCurve(const std::vector<uint8_t>& useful_in_order,
+                                size_t total_useful, size_t points = 100);
+
+/// Mean of precision@k over the positions of useful documents (standard
+/// average precision of the processing order as a ranking). Positions
+/// beyond the processed prefix count as misses.
+double AveragePrecision(const std::vector<uint8_t>& useful_in_order,
+                        size_t total_useful);
+
+/// Area under the ROC curve of the processing order: the probability that
+/// a uniformly random useful document is processed before a uniformly
+/// random useless one. 0.5 for random order, 1.0 for perfect.
+double RocAuc(const std::vector<uint8_t>& useful_in_order);
+
+/// Recall (fraction of total_useful found) after processing `k` documents.
+double RecallAt(const std::vector<uint8_t>& useful_in_order,
+                size_t total_useful, size_t k);
+
+/// Smallest number of processed documents reaching `target_recall`;
+/// returns useful_in_order.size() + 1 when never reached.
+size_t DocsToReachRecall(const std::vector<uint8_t>& useful_in_order,
+                         size_t total_useful, double target_recall);
+
+}  // namespace ie

@@ -1,0 +1,112 @@
+#include "eval/recall_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ie {
+
+namespace {
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+bool PlattCalibrator::Fit(const std::vector<double>& scores,
+                          const std::vector<bool>& labels, int iterations,
+                          double learning_rate) {
+  if (scores.size() != labels.size() || scores.empty()) return false;
+  size_t positives = 0;
+  for (bool y : labels) positives += y;
+  if (positives == 0 || positives == labels.size()) return false;
+
+  // Standardize scores for stable optimization.
+  double mean = 0.0;
+  for (double s : scores) mean += s;
+  mean /= static_cast<double>(scores.size());
+  double var = 0.0;
+  for (double s : scores) var += (s - mean) * (s - mean);
+  const double stddev =
+      std::sqrt(var / static_cast<double>(scores.size())) + 1e-12;
+
+  double a = 1.0, b = 0.0;
+  const double n = static_cast<double>(scores.size());
+  for (int it = 0; it < iterations; ++it) {
+    double grad_a = 0.0, grad_b = 0.0;
+    for (size_t i = 0; i < scores.size(); ++i) {
+      const double z = (scores[i] - mean) / stddev;
+      const double p = Sigmoid(a * z + b);
+      const double err = p - (labels[i] ? 1.0 : 0.0);
+      grad_a += err * z;
+      grad_b += err;
+    }
+    a -= learning_rate * grad_a / n;
+    b -= learning_rate * grad_b / n;
+  }
+  // Fold the standardization back into (a, b) on raw scores.
+  a_ = a / stddev;
+  b_ = b - a * mean / stddev;
+  return true;
+}
+
+double PlattCalibrator::Probability(double score) const {
+  return Sigmoid(a_ * score + b_);
+}
+
+RecallEstimate EstimateRecall(const std::vector<double>& processed_scores,
+                              const std::vector<bool>& processed_labels,
+                              const std::vector<double>& remaining_scores) {
+  RecallEstimate estimate;
+  for (bool y : processed_labels) estimate.found += y;
+
+  PlattCalibrator calibrator;
+  if (!calibrator.Fit(processed_scores, processed_labels)) {
+    // Degenerate labels: fall back to the observed prevalence.
+    const double prevalence =
+        processed_labels.empty()
+            ? 0.0
+            : static_cast<double>(estimate.found) /
+                  static_cast<double>(processed_labels.size());
+    estimate.estimated_remaining =
+        prevalence * static_cast<double>(remaining_scores.size());
+  } else {
+    for (double score : remaining_scores) {
+      estimate.estimated_remaining += calibrator.Probability(score);
+    }
+  }
+  const double total =
+      static_cast<double>(estimate.found) + estimate.estimated_remaining;
+  estimate.estimated_recall =
+      total > 0.0 ? static_cast<double>(estimate.found) / total : 0.0;
+  return estimate;
+}
+
+size_t EstimateDocsToTargetRecall(
+    const std::vector<double>& processed_scores,
+    const std::vector<bool>& processed_labels,
+    std::vector<double> remaining_scores, double target_recall) {
+  const RecallEstimate now = EstimateRecall(
+      processed_scores, processed_labels, remaining_scores);
+  const double total_useful =
+      static_cast<double>(now.found) + now.estimated_remaining;
+  if (total_useful <= 0.0) return 0;
+  const double needed = target_recall * total_useful;
+  if (static_cast<double>(now.found) >= needed) return 0;
+
+  PlattCalibrator calibrator;
+  const bool calibrated =
+      calibrator.Fit(processed_scores, processed_labels);
+  std::sort(remaining_scores.begin(), remaining_scores.end(),
+            std::greater<double>());
+  double found = static_cast<double>(now.found);
+  const double fallback_rate =
+      remaining_scores.empty()
+          ? 0.0
+          : now.estimated_remaining /
+                static_cast<double>(remaining_scores.size());
+  for (size_t i = 0; i < remaining_scores.size(); ++i) {
+    found += calibrated ? calibrator.Probability(remaining_scores[i])
+                        : fallback_rate;
+    if (found + 1e-9 >= needed) return i + 1;
+  }
+  return remaining_scores.size() + 1;
+}
+
+}  // namespace ie

@@ -1,0 +1,62 @@
+// Extension (paper Section 6, future work): "estimate the recall of the
+// alternative document ranking approaches ... estimate the extraction
+// cost, as a function of the number of processed documents, to achieve a
+// target recall value."
+//
+// The estimator Platt-calibrates the ranking model's scores against the
+// useful/useless verdicts observed so far (1-D logistic regression), then
+// integrates the calibrated probabilities over the still-unprocessed
+// documents to estimate how many useful documents remain — which yields a
+// current-recall estimate and a projected cost to reach a recall target.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ie {
+
+/// 1-D logistic model P(useful | score) = sigmoid(a * score + b).
+class PlattCalibrator {
+ public:
+  /// Fits (a, b) by gradient descent on the logistic loss. `labels[i]` is
+  /// true when the document with `scores[i]` was useful. Requires at least
+  /// one example of each class; returns false otherwise.
+  bool Fit(const std::vector<double>& scores,
+           const std::vector<bool>& labels, int iterations = 500,
+           double learning_rate = 0.5);
+
+  double Probability(double score) const;
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+
+ private:
+  double a_ = 1.0;
+  double b_ = 0.0;
+};
+
+struct RecallEstimate {
+  /// Useful documents found so far.
+  size_t found = 0;
+  /// Estimated useful documents among the unprocessed remainder.
+  double estimated_remaining = 0.0;
+  /// found / (found + estimated_remaining); 0 when nothing was found.
+  double estimated_recall = 0.0;
+};
+
+/// Estimates current recall from processed (score, verdict) pairs and the
+/// scores of the remaining (unprocessed) documents.
+RecallEstimate EstimateRecall(const std::vector<double>& processed_scores,
+                              const std::vector<bool>& processed_labels,
+                              const std::vector<double>& remaining_scores);
+
+/// Projects how many more documents must be processed — following the
+/// descending-score order of `remaining_scores` — to raise the estimated
+/// recall to `target_recall`. Returns remaining_scores.size() + 1 when the
+/// target is unreachable even after exhausting the pool.
+size_t EstimateDocsToTargetRecall(
+    const std::vector<double>& processed_scores,
+    const std::vector<bool>& processed_labels,
+    std::vector<double> remaining_scores, double target_recall);
+
+}  // namespace ie

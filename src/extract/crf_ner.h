@@ -1,0 +1,51 @@
+// Linear-chain sequence tagger with Viterbi decoding, trained with the
+// structured perceptron (Collins'02) — our "CRF-lite". Substitute for the
+// CRF-based recognizers the paper uses (Stanford NER for Person/Location,
+// CONLL-style CRFs for the remaining entity types). Unary scores come from
+// hashed local features; a dense 3×3 transition matrix captures label
+// dependencies.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+#include "extract/sequence_tagger.h"
+
+namespace ie {
+
+struct CrfOptions {
+  uint32_t hash_bits = 18;
+  int epochs = 5;
+};
+
+class CrfLiteNer : public SequenceTaggerNer {
+ public:
+  CrfLiteNer(EntityType type, const Vocabulary* vocab, CrfOptions options = {})
+      : SequenceTaggerNer(type, vocab),
+        options_(options),
+        mask_((1u << options.hash_bits) - 1),
+        unary_(kNumBioLabels,
+               std::vector<float>(1u << options.hash_bits, 0.0f)) {
+    for (auto& row : transition_) row.fill(0.0f);
+  }
+
+  void Train(const std::vector<TaggedSentence>& data, uint64_t seed = 29);
+
+  std::string name() const override { return "crf_lite"; }
+
+ protected:
+  std::vector<uint8_t> Label(const Sentence& sentence) const override;
+
+ private:
+  void CollectFeatures(const Sentence& sentence, size_t pos,
+                       std::vector<uint32_t>& features) const;
+  std::vector<uint8_t> Viterbi(const Sentence& sentence) const;
+
+  CrfOptions options_;
+  uint32_t mask_;
+  std::vector<std::vector<float>> unary_;  // [label][hashed feature]
+  std::array<std::array<float, kNumBioLabels>, kNumBioLabels> transition_;
+};
+
+}  // namespace ie

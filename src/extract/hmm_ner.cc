@@ -1,0 +1,106 @@
+#include "extract/hmm_ner.h"
+
+#include <cmath>
+
+namespace ie {
+
+void HmmNer::Train(const std::vector<TaggedSentence>& data) {
+  std::array<double, kNumBioLabels> initial{};
+  std::array<std::array<double, kNumBioLabels>, kNumBioLabels> transition{};
+  std::array<std::unordered_map<TokenId, double>, kNumBioLabels> emission;
+  std::array<double, kNumBioLabels> state_totals{};
+
+  for (const TaggedSentence& ts : data) {
+    const auto& tokens = ts.sentence->tokens;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const uint8_t y = ts.labels[i];
+      if (i == 0) {
+        initial[y] += 1.0;
+      } else {
+        transition[ts.labels[i - 1]][y] += 1.0;
+      }
+      emission[y][tokens[i]] += 1.0;
+      state_totals[y] += 1.0;
+    }
+  }
+
+  // Add-one smoothed log probabilities.
+  double initial_total = 0.0;
+  for (double c : initial) initial_total += c;
+  for (size_t y = 0; y < kNumBioLabels; ++y) {
+    log_initial_[y] = std::log((initial[y] + 1.0) /
+                               (initial_total + kNumBioLabels));
+    double row_total = 0.0;
+    for (double c : transition[y]) row_total += c;
+    for (size_t y2 = 0; y2 < kNumBioLabels; ++y2) {
+      log_transition_[y][y2] = std::log((transition[y][y2] + 1.0) /
+                                        (row_total + kNumBioLabels));
+    }
+    const double vocab_size =
+        static_cast<double>(emission[y].size()) + 1.0;  // +1 OOV bucket
+    log_emission_[y].clear();
+    double singletons = 0.0;
+    for (const auto& [token, count] : emission[y]) {
+      log_emission_[y][token] =
+          std::log((count + 1.0) / (state_totals[y] + vocab_size));
+      if (count == 1.0) singletons += 1.0;
+    }
+    // Good-Turing-style OOV handling: the total unseen-word mass of a state
+    // is estimated by its singleton mass, then spread over the expected
+    // number of unseen types (approximated by the state's seen vocabulary).
+    // States that keep meeting brand-new words (the background O state over
+    // an open vocabulary) thus keep a much higher per-word OOV probability
+    // than the closed entity states — naive add-one would instead hand
+    // every unknown token to the small entity states.
+    log_oov_[y] = std::log((singletons + 0.5) /
+                           ((state_totals[y] + vocab_size) * vocab_size));
+  }
+  trained_ = true;
+}
+
+double HmmNer::EmissionLogProb(size_t state, TokenId token) const {
+  const auto it = log_emission_[state].find(token);
+  return it == log_emission_[state].end() ? log_oov_[state] : it->second;
+}
+
+std::vector<uint8_t> HmmNer::Label(const Sentence& sentence) const {
+  const size_t n = sentence.tokens.size();
+  if (n == 0 || !trained_) return std::vector<uint8_t>(n, kO);
+
+  // Viterbi in log space.
+  std::vector<std::array<double, kNumBioLabels>> delta(n);
+  std::vector<std::array<uint8_t, kNumBioLabels>> back(n);
+  for (size_t y = 0; y < kNumBioLabels; ++y) {
+    delta[0][y] = log_initial_[y] + EmissionLogProb(y, sentence.tokens[0]);
+    back[0][y] = 0;
+  }
+  for (size_t i = 1; i < n; ++i) {
+    for (size_t y = 0; y < kNumBioLabels; ++y) {
+      double best = -1e300;
+      uint8_t arg = 0;
+      for (size_t y0 = 0; y0 < kNumBioLabels; ++y0) {
+        const double v = delta[i - 1][y0] + log_transition_[y0][y];
+        if (v > best) {
+          best = v;
+          arg = static_cast<uint8_t>(y0);
+        }
+      }
+      delta[i][y] = best + EmissionLogProb(y, sentence.tokens[i]);
+      back[i][y] = arg;
+    }
+  }
+  std::vector<uint8_t> labels(n, kO);
+  double best = -1e300;
+  for (size_t y = 0; y < kNumBioLabels; ++y) {
+    if (delta[n - 1][y] > best) {
+      best = delta[n - 1][y];
+      labels[n - 1] = static_cast<uint8_t>(y);
+    }
+  }
+  for (size_t i = n - 1; i > 0; --i) {
+    labels[i - 1] = back[i][labels[i]];
+  }
+  return labels;
+}
+
+}  // namespace ie

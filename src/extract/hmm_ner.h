@@ -1,0 +1,41 @@
+// First-order Hidden Markov Model BIO tagger with Viterbi decoding —
+// substitute for the HMM-based NER the paper uses for Person entities
+// (Ekbal & Bandyopadhyay style). Emissions use add-one smoothing with an
+// out-of-vocabulary bucket.
+#pragma once
+
+#include <array>
+#include <unordered_map>
+
+#include "extract/sequence_tagger.h"
+
+namespace ie {
+
+class HmmNer : public SequenceTaggerNer {
+ public:
+  HmmNer(EntityType type, const Vocabulary* vocab)
+      : SequenceTaggerNer(type, vocab) {}
+
+  /// Estimates transition/emission probabilities from gold sequences.
+  void Train(const std::vector<TaggedSentence>& data);
+
+  bool trained() const { return trained_; }
+
+  std::string name() const override { return "hmm"; }
+
+ protected:
+  std::vector<uint8_t> Label(const Sentence& sentence) const override;
+
+ private:
+  double EmissionLogProb(size_t state, TokenId token) const;
+
+  bool trained_ = false;
+  std::array<double, kNumBioLabels> log_initial_{};
+  std::array<std::array<double, kNumBioLabels>, kNumBioLabels>
+      log_transition_{};
+  std::array<std::unordered_map<TokenId, double>, kNumBioLabels>
+      log_emission_;
+  std::array<double, kNumBioLabels> log_oov_{};
+};
+
+}  // namespace ie

@@ -1,0 +1,183 @@
+#include "extract/ner.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace ie {
+
+namespace {
+
+std::string SpanValue(const Sentence& sentence, uint32_t begin, uint32_t end,
+                      const Vocabulary& vocab) {
+  std::string value;
+  for (uint32_t i = begin; i < end; ++i) {
+    if (i > begin) value.push_back(' ');
+    value += vocab.Term(sentence.tokens[i]);
+  }
+  return value;
+}
+
+bool IsYearToken(const std::string& term) {
+  if (term.size() != 4) return false;
+  for (char c : term) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return term[0] == '1' || term[0] == '2';
+}
+
+}  // namespace
+
+GazetteerNer::GazetteerNer(EntityType type,
+                           const std::vector<std::string>& phrases,
+                           Vocabulary* vocab, double coverage, uint64_t seed)
+    : type_(type), vocab_(vocab) {
+  Rng rng(seed);
+  for (const std::string& phrase : phrases) {
+    if (coverage < 1.0 && !rng.NextBool(coverage)) continue;
+    std::vector<TokenId> ids;
+    for (const auto& piece : SplitString(phrase, " ")) {
+      ids.push_back(vocab->Intern(piece));
+    }
+    if (ids.empty()) continue;
+    index_[ids[0]].push_back(std::move(ids));
+    ++num_entries_;
+  }
+  for (auto& [first, candidates] : index_) {
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  }
+}
+
+std::vector<EntityMention> GazetteerNer::Recognize(const Document& doc)
+    const {
+  std::vector<EntityMention> mentions;
+  for (uint32_t s = 0; s < doc.sentences.size(); ++s) {
+    const Sentence& sentence = doc.sentences[s];
+    for (uint32_t i = 0; i < sentence.tokens.size();) {
+      auto it = index_.find(sentence.tokens[i]);
+      bool matched = false;
+      if (it != index_.end()) {
+        for (const std::vector<TokenId>& phrase : it->second) {
+          if (i + phrase.size() > sentence.tokens.size()) continue;
+          if (std::equal(phrase.begin(), phrase.end(),
+                         sentence.tokens.begin() + i)) {
+            const uint32_t end = i + static_cast<uint32_t>(phrase.size());
+            mentions.push_back({s, i, end, type_,
+                                SpanValue(sentence, i, end, *vocab_)});
+            i = end;
+            matched = true;
+            break;
+          }
+        }
+      }
+      if (!matched) ++i;
+    }
+  }
+  return mentions;
+}
+
+PatternNer::PatternNer(const std::vector<std::string>& suffixes,
+                       Vocabulary* vocab)
+    : vocab_(vocab) {
+  for (const std::string& suffix : suffixes) {
+    suffix_ids_.insert(vocab->Intern(suffix));
+  }
+  // Function words that cannot start an organization name.
+  for (const char* stop :
+       {"the", "a", "an", "of", "and", "in", "to", "for", "by", "was",
+        "is", "with", "that", "this", "its", "their", "at", "on", "from"}) {
+    stop_ids_.insert(vocab->Intern(stop));
+  }
+  university_id_ = vocab->Intern("university");
+  of_id_ = vocab->Intern("of");
+}
+
+std::vector<EntityMention> PatternNer::Recognize(const Document& doc) const {
+  std::vector<EntityMention> mentions;
+  for (uint32_t s = 0; s < doc.sentences.size(); ++s) {
+    const Sentence& sentence = doc.sentences[s];
+    for (uint32_t i = 0; i + 1 < sentence.tokens.size(); ++i) {
+      // "university of <word>"
+      if (sentence.tokens[i] == university_id_ &&
+          sentence.tokens[i + 1] == of_id_ &&
+          i + 2 < sentence.tokens.size() &&
+          stop_ids_.count(sentence.tokens[i + 2]) == 0) {
+        mentions.push_back({s, i, i + 3, EntityType::kOrganization,
+                            SpanValue(sentence, i, i + 3, *vocab_)});
+        continue;
+      }
+      // "<word> <org-suffix>"
+      if (suffix_ids_.count(sentence.tokens[i + 1]) > 0 &&
+          stop_ids_.count(sentence.tokens[i]) == 0 &&
+          suffix_ids_.count(sentence.tokens[i]) == 0) {
+        mentions.push_back({s, i, i + 2, EntityType::kOrganization,
+                            SpanValue(sentence, i, i + 2, *vocab_)});
+      }
+    }
+  }
+  return mentions;
+}
+
+TemporalNer::TemporalNer(Vocabulary* vocab) : vocab_(vocab) {
+  for (const char* month :
+       {"january", "february", "march", "april", "may", "june", "july",
+        "august", "september", "october", "november", "december"}) {
+    month_ids_.insert(vocab->Intern(month));
+  }
+}
+
+std::vector<EntityMention> TemporalNer::Recognize(const Document& doc)
+    const {
+  std::vector<EntityMention> mentions;
+  for (uint32_t s = 0; s < doc.sentences.size(); ++s) {
+    const Sentence& sentence = doc.sentences[s];
+    for (uint32_t i = 0; i + 1 < sentence.tokens.size(); ++i) {
+      if (month_ids_.count(sentence.tokens[i]) == 0) continue;
+      if (!IsYearToken(vocab_->Term(sentence.tokens[i + 1]))) continue;
+      mentions.push_back({s, i, i + 2, EntityType::kTemporal,
+                          SpanValue(sentence, i, i + 2, *vocab_)});
+    }
+  }
+  return mentions;
+}
+
+std::vector<EntityMention> MergeMentions(
+    std::vector<std::vector<EntityMention>> per_recognizer) {
+  std::vector<EntityMention> all;
+  for (auto& batch : per_recognizer) {
+    all.insert(all.end(), std::make_move_iterator(batch.begin()),
+               std::make_move_iterator(batch.end()));
+  }
+  // Longer spans win; keep a span unless it is strictly inside a kept one.
+  std::sort(all.begin(), all.end(),
+            [](const EntityMention& a, const EntityMention& b) {
+              if (a.sentence != b.sentence) return a.sentence < b.sentence;
+              const uint32_t la = a.end - a.begin;
+              const uint32_t lb = b.end - b.begin;
+              if (la != lb) return la > lb;
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.type < b.type;
+            });
+  std::vector<EntityMention> kept;
+  for (EntityMention& m : all) {
+    bool covered = false;
+    for (const EntityMention& k : kept) {
+      if (k.sentence == m.sentence && k.begin <= m.begin && m.end <= k.end) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) kept.push_back(std::move(m));
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const EntityMention& a, const EntityMention& b) {
+              if (a.sentence != b.sentence) return a.sentence < b.sentence;
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.end < b.end;
+            });
+  return kept;
+}
+
+}  // namespace ie

@@ -1,0 +1,95 @@
+// Named-entity recognizer interface plus the rule-based recognizers
+// (gazetteer, suffix patterns, temporal regex). Learned recognizers (HMM /
+// MEMM / CRF-lite) live in their own headers. These are from-scratch
+// substitutes for the paper's off-the-shelf NER toolkits (LingPipe,
+// Stanford NER, E-txt2db; see DESIGN.md §2) — the ranking approach treats
+// them as black boxes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "corpus/annotations.h"
+#include "corpus/relation.h"
+#include "text/document.h"
+#include "text/vocabulary.h"
+
+namespace ie {
+
+class EntityRecognizer {
+ public:
+  virtual ~EntityRecognizer() = default;
+
+  /// All entity mentions found in the document.
+  virtual std::vector<EntityMention> Recognize(const Document& doc) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Dictionary-based recognizer with greedy longest-match over token-id
+/// phrases. An optional coverage fraction < 1 drops dictionary entries at
+/// construction, modeling the imperfect recall of real dictionaries.
+class GazetteerNer : public EntityRecognizer {
+ public:
+  /// `phrases` are space-separated surface forms; tokens are interned into
+  /// `vocab`. Entries are kept with probability `coverage`.
+  GazetteerNer(EntityType type, const std::vector<std::string>& phrases,
+               Vocabulary* vocab, double coverage = 1.0, uint64_t seed = 17);
+
+  std::vector<EntityMention> Recognize(const Document& doc) const override;
+  std::string name() const override { return "gazetteer"; }
+
+  size_t DictionarySize() const { return num_entries_; }
+
+ private:
+  EntityType type_;
+  const Vocabulary* vocab_;
+  // First token id -> candidate phrases (longest first).
+  std::unordered_map<TokenId, std::vector<std::vector<TokenId>>> index_;
+  size_t num_entries_ = 0;
+};
+
+/// Suffix-pattern recognizer for organization names: matches
+/// "<word> <org-suffix>" (e.g. "acme corporation") and
+/// "university of <word>". A small stop list prevents degenerate matches
+/// like "the corporation". Substitute for automatically generated
+/// organization patterns (Whitelaw et al., CIKM'08).
+class PatternNer : public EntityRecognizer {
+ public:
+  PatternNer(const std::vector<std::string>& suffixes, Vocabulary* vocab);
+
+  std::vector<EntityMention> Recognize(const Document& doc) const override;
+  std::string name() const override { return "pattern"; }
+
+ private:
+  const Vocabulary* vocab_;
+  std::unordered_set<TokenId> suffix_ids_;
+  std::unordered_set<TokenId> stop_ids_;
+  TokenId university_id_;
+  TokenId of_id_;
+};
+
+/// Rule-based temporal recognizer: "<month-name> <4-digit year>".
+/// Substitute for manually crafted temporal regular expressions.
+class TemporalNer : public EntityRecognizer {
+ public:
+  explicit TemporalNer(Vocabulary* vocab);
+
+  std::vector<EntityMention> Recognize(const Document& doc) const override;
+  std::string name() const override { return "temporal"; }
+
+ private:
+  const Vocabulary* vocab_;
+  std::unordered_set<TokenId> month_ids_;
+};
+
+/// Merges mentions from several recognizers, dropping spans fully covered
+/// by a longer span in the same sentence (longer wins; ties keep first).
+std::vector<EntityMention> MergeMentions(
+    std::vector<std::vector<EntityMention>> per_recognizer);
+
+}  // namespace ie

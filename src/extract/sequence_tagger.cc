@@ -1,0 +1,81 @@
+#include "extract/sequence_tagger.h"
+
+#include "common/rng.h"
+
+namespace ie {
+
+std::vector<TaggedSentence> CollectTaggedSentences(
+    const Corpus& corpus, const std::vector<DocId>& docs, EntityType type,
+    double negative_keep, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TaggedSentence> out;
+  for (DocId id : docs) {
+    const Document& doc = corpus.doc(id);
+    const DocAnnotations& ann = corpus.annotations(id);
+    for (uint32_t s = 0; s < doc.sentences.size(); ++s) {
+      const Sentence& sentence = doc.sentences[s];
+      std::vector<uint8_t> labels(sentence.tokens.size(), kO);
+      bool has_mention = false;
+      for (const EntityMention& m : ann.mentions) {
+        if (m.sentence != s || m.type != type) continue;
+        has_mention = true;
+        for (uint32_t i = m.begin; i < m.end && i < labels.size(); ++i) {
+          labels[i] = (i == m.begin) ? kB : kI;
+        }
+      }
+      if (!has_mention && !rng.NextBool(negative_keep)) continue;
+      out.push_back({&sentence, std::move(labels)});
+    }
+  }
+  return out;
+}
+
+std::vector<EntityMention> DecodeBio(const Sentence& sentence,
+                                     const std::vector<uint8_t>& labels,
+                                     uint32_t sentence_index, EntityType type,
+                                     const Vocabulary& vocab) {
+  std::vector<EntityMention> mentions;
+  uint32_t begin = 0;
+  bool open = false;
+  auto close = [&](uint32_t end) {
+    if (!open) return;
+    std::string value;
+    for (uint32_t i = begin; i < end; ++i) {
+      if (i > begin) value.push_back(' ');
+      value += vocab.Term(sentence.tokens[i]);
+    }
+    mentions.push_back({sentence_index, begin, end, type, std::move(value)});
+    open = false;
+  };
+  for (uint32_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == kB) {
+      close(i);
+      begin = i;
+      open = true;
+    } else if (labels[i] == kI) {
+      if (!open) {  // I without B: treat as a new mention start
+        begin = i;
+        open = true;
+      }
+    } else {
+      close(i);
+    }
+  }
+  close(static_cast<uint32_t>(labels.size()));
+  return mentions;
+}
+
+std::vector<EntityMention> SequenceTaggerNer::Recognize(
+    const Document& doc) const {
+  std::vector<EntityMention> mentions;
+  for (uint32_t s = 0; s < doc.sentences.size(); ++s) {
+    const std::vector<uint8_t> labels = Label(doc.sentences[s]);
+    std::vector<EntityMention> found =
+        DecodeBio(doc.sentences[s], labels, s, type_, *vocab_);
+    mentions.insert(mentions.end(), std::make_move_iterator(found.begin()),
+                    std::make_move_iterator(found.end()));
+  }
+  return mentions;
+}
+
+}  // namespace ie

@@ -1,0 +1,54 @@
+// Shared machinery for learned BIO sequence taggers (HMM, MEMM, CRF-lite):
+// label scheme, gold-label extraction from corpus annotations, and
+// BIO-to-mention decoding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "extract/ner.h"
+
+namespace ie {
+
+/// BIO labels for a single target entity type.
+enum BioLabel : uint8_t { kO = 0, kB = 1, kI = 2 };
+inline constexpr size_t kNumBioLabels = 3;
+
+struct TaggedSentence {
+  const Sentence* sentence = nullptr;
+  std::vector<uint8_t> labels;  // BioLabel per token
+};
+
+/// Gold BIO sequences for `type` over the given documents. Sentences with
+/// no mention of the type are included with probability `negative_keep`
+/// (subsampling keeps training balanced and fast).
+std::vector<TaggedSentence> CollectTaggedSentences(
+    const Corpus& corpus, const std::vector<DocId>& docs, EntityType type,
+    double negative_keep, uint64_t seed);
+
+/// Converts a BIO label sequence into entity mentions.
+std::vector<EntityMention> DecodeBio(const Sentence& sentence,
+                                     const std::vector<uint8_t>& labels,
+                                     uint32_t sentence_index, EntityType type,
+                                     const Vocabulary& vocab);
+
+/// Base for taggers that label one sentence at a time.
+class SequenceTaggerNer : public EntityRecognizer {
+ public:
+  SequenceTaggerNer(EntityType type, const Vocabulary* vocab)
+      : type_(type), vocab_(vocab) {}
+
+  std::vector<EntityMention> Recognize(const Document& doc) const override;
+
+  EntityType type() const { return type_; }
+
+ protected:
+  /// Predicts BIO labels for one sentence.
+  virtual std::vector<uint8_t> Label(const Sentence& sentence) const = 0;
+
+  EntityType type_;
+  const Vocabulary* vocab_;
+};
+
+}  // namespace ie

@@ -1,0 +1,26 @@
+// Extraction outputs. EntityMention (from corpus/annotations.h) doubles as
+// the recognizer output span type; ExtractedTuple is what an extraction
+// system emits and what defines document usefulness (a document is useful
+// for a relation iff the system extracts at least one tuple from it).
+#pragma once
+
+#include <string>
+
+#include "corpus/annotations.h"
+#include "corpus/relation.h"
+
+namespace ie {
+
+struct ExtractedTuple {
+  RelationId relation;
+  std::string attr1;
+  std::string attr2;
+  uint32_t sentence = 0;
+
+  bool operator==(const ExtractedTuple& other) const {
+    return relation == other.relation && attr1 == other.attr1 &&
+           attr2 == other.attr2 && sentence == other.sentence;
+  }
+};
+
+}  // namespace ie

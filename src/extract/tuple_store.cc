@@ -1,0 +1,75 @@
+#include "extract/tuple_store.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace ie {
+
+Status TupleStore::Add(DocId doc, const std::vector<ExtractedTuple>& tuples) {
+  for (const ExtractedTuple& tuple : tuples) {
+    if (tuple.relation != relation_) {
+      return Status::InvalidArgument(StrFormat(
+          "tuple relation %d does not match store relation %d",
+          static_cast<int>(tuple.relation), static_cast<int>(relation_)));
+    }
+    const std::string key = tuple.attr1 + "\x1f" + tuple.attr2;
+    auto it = key_to_fact_.find(key);
+    if (it == key_to_fact_.end()) {
+      const size_t index = facts_.size();
+      facts_.push_back({tuple.attr1, tuple.attr2, {doc}, 1});
+      key_to_fact_.emplace(key, index);
+      by_attr1_[tuple.attr1].push_back(index);
+      by_attr2_[tuple.attr2].push_back(index);
+    } else {
+      Fact& fact = facts_[it->second];
+      ++fact.mention_count;
+      if (fact.supporting_documents.empty() ||
+          fact.supporting_documents.back() != doc) {
+        // Documents arrive grouped, so a tail check suffices for dedup
+        // unless callers interleave; fall back to a full scan then.
+        if (std::find(fact.supporting_documents.begin(),
+                      fact.supporting_documents.end(),
+                      doc) == fact.supporting_documents.end()) {
+          fact.supporting_documents.push_back(doc);
+        }
+      }
+    }
+    ++mentions_;
+  }
+  return Status::OK();
+}
+
+std::vector<const TupleStore::Fact*> TupleStore::FindByAttr1(
+    const std::string& value) const {
+  std::vector<const Fact*> out;
+  const auto it = by_attr1_.find(value);
+  if (it == by_attr1_.end()) return out;
+  for (size_t index : it->second) out.push_back(&facts_[index]);
+  return out;
+}
+
+std::vector<const TupleStore::Fact*> TupleStore::FindByAttr2(
+    const std::string& value) const {
+  std::vector<const Fact*> out;
+  const auto it = by_attr2_.find(value);
+  if (it == by_attr2_.end()) return out;
+  for (size_t index : it->second) out.push_back(&facts_[index]);
+  return out;
+}
+
+std::vector<const TupleStore::Fact*> TupleStore::TopFactsBySupport(
+    size_t k) const {
+  std::vector<const Fact*> out;
+  out.reserve(facts_.size());
+  for (const Fact& fact : facts_) out.push_back(&fact);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Fact* a, const Fact* b) {
+                     return a->supporting_documents.size() >
+                            b->supporting_documents.size();
+                   });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace ie

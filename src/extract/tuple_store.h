@@ -1,0 +1,60 @@
+// TupleStore: queryable storage for extraction output with provenance —
+// the reason IE is worth running at all ("having information in structured
+// form enables more sophisticated querying ... than what is possible over
+// the natural language text", paper Section 1). Tuples are deduplicated by
+// (attr1, attr2) with per-fact provenance (the documents and sentences
+// each fact was extracted from) and support lookup by either attribute.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "extract/tuple.h"
+#include "text/document.h"
+
+namespace ie {
+
+class TupleStore {
+ public:
+  struct Fact {
+    std::string attr1;
+    std::string attr2;
+    /// Distinct documents this fact was extracted from.
+    std::vector<DocId> supporting_documents;
+    size_t mention_count = 0;
+  };
+
+  explicit TupleStore(RelationId relation) : relation_(relation) {}
+
+  /// Adds the tuples extracted from one document. Tuples of a different
+  /// relation are rejected with an error.
+  Status Add(DocId doc, const std::vector<ExtractedTuple>& tuples);
+
+  size_t NumFacts() const { return facts_.size(); }
+  size_t NumMentions() const { return mentions_; }
+  RelationId relation() const { return relation_; }
+
+  /// All stored facts (insertion order).
+  const std::vector<Fact>& facts() const { return facts_; }
+
+  /// Facts whose attr1 equals `value` (indices into facts()).
+  std::vector<const Fact*> FindByAttr1(const std::string& value) const;
+  /// Facts whose attr2 equals `value`.
+  std::vector<const Fact*> FindByAttr2(const std::string& value) const;
+
+  /// Facts ordered by descending support (documents), ties by insertion.
+  std::vector<const Fact*> TopFactsBySupport(size_t k) const;
+
+ private:
+  RelationId relation_;
+  std::vector<Fact> facts_;
+  std::unordered_map<std::string, size_t> key_to_fact_;  // attr1\x1f attr2
+  std::unordered_map<std::string, std::vector<size_t>> by_attr1_;
+  std::unordered_map<std::string, std::vector<size_t>> by_attr2_;
+  size_t mentions_ = 0;
+};
+
+}  // namespace ie

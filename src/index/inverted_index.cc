@@ -1,0 +1,89 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace ie {
+
+Status InvertedIndex::Add(const Document& doc) {
+  if (doc_lengths_.count(doc.id) > 0) {
+    return Status::InvalidArgument(
+        StrFormat("document %u already indexed", doc.id));
+  }
+  std::unordered_map<TokenId, uint32_t> tf;
+  uint32_t length = 0;
+  for (const Sentence& sentence : doc.sentences) {
+    for (TokenId token : sentence.tokens) {
+      ++tf[token];
+      ++length;
+    }
+  }
+  doc_lengths_[doc.id] = length;
+  total_length_ += length;
+  for (const auto& [term, count] : tf) {
+    postings_[term].push_back({doc.id, count});
+    ++num_postings_;
+  }
+  return Status::OK();
+}
+
+size_t InvertedIndex::DocFreq(TokenId term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? 0 : it->second.size();
+}
+
+std::vector<SearchHit> InvertedIndex::Search(
+    const std::vector<TokenId>& terms, size_t k) const {
+  if (k == 0 || doc_lengths_.empty()) return {};
+  const double n = static_cast<double>(NumDocs());
+  const double avg_len = total_length_ / n;
+
+  std::unordered_map<DocId, double> scores;
+  for (TokenId term : terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    const double df = static_cast<double>(it->second.size());
+    // BM25 idf with the standard +1 inside the log to keep it positive.
+    const double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+    for (const Posting& p : it->second) {
+      const double len = doc_lengths_.at(p.doc);
+      const double tf = p.tf;
+      const double denom =
+          tf + params_.k1 * (1.0 - params_.b + params_.b * len / avg_len);
+      scores[p.doc] += idf * (tf * (params_.k1 + 1.0)) / denom;
+    }
+  }
+
+  std::vector<SearchHit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    hits.push_back({doc, static_cast<float>(score)});
+  }
+  auto better = [](const SearchHit& a, const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  };
+  if (hits.size() > k) {
+    std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(k),
+                      hits.end(), better);
+    hits.resize(k);
+  } else {
+    std::sort(hits.begin(), hits.end(), better);
+  }
+  return hits;
+}
+
+std::vector<SearchHit> InvertedIndex::SearchText(const std::string& query,
+                                                 const Vocabulary& vocab,
+                                                 size_t k) const {
+  std::vector<TokenId> terms;
+  for (const auto& piece : SplitString(query, " \t")) {
+    const TokenId id = vocab.Lookup(piece);
+    if (id != Vocabulary::kInvalidId) terms.push_back(id);
+  }
+  return Search(terms, k);
+}
+
+}  // namespace ie

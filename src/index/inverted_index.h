@@ -1,0 +1,68 @@
+// In-memory inverted index with BM25 ranking — the repository's substitute
+// for Lucene (DESIGN.md §2). Provides the standard keyword-search interface
+// that QXtract-style query generation, CQS sampling, FactCrawl, and the
+// search-interface access scenario retrieve documents through: documents
+// are ranked by how well they match the query, NOT by extraction
+// usefulness, which is exactly the mismatch the paper's rankers fix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "text/document.h"
+#include "text/vocabulary.h"
+
+namespace ie {
+
+struct SearchHit {
+  DocId doc = 0;
+  float score = 0.0f;
+};
+
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(Bm25Params params = {}) : params_(params) {}
+
+  /// Indexes a document (bag-of-words over all sentences). Documents may be
+  /// added in any id order; re-adding the same id is an error.
+  Status Add(const Document& doc);
+
+  size_t NumDocs() const { return doc_lengths_.size(); }
+  size_t NumPostings() const { return num_postings_; }
+
+  /// Document frequency of a term (0 when unseen).
+  size_t DocFreq(TokenId term) const;
+
+  /// Disjunctive (OR) BM25 top-k retrieval for a multi-term query.
+  /// Ties broken by doc id for determinism. Terms absent from the index
+  /// contribute nothing.
+  std::vector<SearchHit> Search(const std::vector<TokenId>& terms,
+                                size_t k) const;
+
+  /// Convenience: tokenizes `query` by whitespace, looks terms up in
+  /// `vocab` (unknown words are dropped), and searches.
+  std::vector<SearchHit> SearchText(const std::string& query,
+                                    const Vocabulary& vocab, size_t k) const;
+
+ private:
+  struct Posting {
+    DocId doc;
+    uint32_t tf;
+  };
+
+  Bm25Params params_;
+  std::unordered_map<TokenId, std::vector<Posting>> postings_;
+  std::unordered_map<DocId, uint32_t> doc_lengths_;
+  size_t num_postings_ = 0;
+  double total_length_ = 0.0;
+};
+
+}  // namespace ie

@@ -1,0 +1,72 @@
+// Bootstrap-aggregated committee of online binary SVMs — the learning core
+// of BAgg-IE (paper Section 3.1). The committee holds three classifiers
+// (the paper: "additional classifiers would slightly improve performance at
+// the expense of substantial overhead"), trained over disjoint splits of
+// the labeled documents with balanced labels; the document score is the sum
+// of the members' sigmoid-normalized confidences.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "learn/binary_svm.h"
+#include "text/sparse_vector.h"
+
+namespace ie {
+
+struct BaggingOptions {
+  ElasticNetOptions sgd;
+  size_t committee_size = 3;
+  /// Per-member cap on retained minority examples used for re-balancing.
+  size_t balance_pool_capacity = 1000;
+  int initial_epochs = 5;
+};
+
+class BaggingCommittee {
+ public:
+  explicit BaggingCommittee(BaggingOptions options, uint64_t seed = 11);
+
+  /// Committee score: Σ_i sigmoid(w_i·d + b_i). Higher = more useful.
+  double Score(const SparseVector& x) const;
+
+  /// Initial training: splits `examples` into disjoint per-member shards,
+  /// balances labels within each shard by oversampling the minority class,
+  /// then trains each member for `initial_epochs`.
+  void TrainInitial(const std::vector<LabeledExample>& examples);
+
+  /// Online update: routes the example to one member (round-robin) and
+  /// keeps that member balanced by replaying one stored example of the
+  /// opposite label when the running label counts diverge.
+  void Observe(const SparseVector& x, bool useful);
+
+  size_t committee_size() const { return members_.size(); }
+  const OnlineBinarySvm& member(size_t i) const { return members_[i]; }
+
+  /// Element-wise mean of the members' dense weights (used by Mod-C for
+  /// model-level comparison).
+  WeightVector MeanDenseWeights() const;
+
+  size_t NonZeroCount(double eps = 1e-9) const;
+
+  BaggingCommittee(const BaggingCommittee&) = default;
+  BaggingCommittee& operator=(const BaggingCommittee&) = default;
+
+ private:
+  struct MemberState {
+    size_t positives_seen = 0;
+    size_t negatives_seen = 0;
+    std::vector<SparseVector> positive_pool;
+    std::vector<SparseVector> negative_pool;
+  };
+
+  void PoolAdd(std::vector<SparseVector>& pool, const SparseVector& x);
+
+  BaggingOptions options_;
+  Rng rng_;
+  std::vector<OnlineBinarySvm> members_;
+  std::vector<MemberState> states_;
+  size_t next_member_ = 0;
+};
+
+}  // namespace ie

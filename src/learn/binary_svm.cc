@@ -1,0 +1,42 @@
+#include "learn/binary_svm.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace ie {
+
+double OnlineBinarySvm::Confidence(const SparseVector& x) const {
+  return 1.0 / (1.0 + std::exp(-Margin(x)));
+}
+
+bool OnlineBinarySvm::Update(const SparseVector& x, int y) {
+  // Margin check must include the bias, so we test before the SGD step and
+  // force the gradient through Step()'s internal violation check (the score
+  // it sees lacks the bias; recheck here and skip when satisfied).
+  const double margin = static_cast<double>(y) * Margin(x);
+  if (margin >= 1.0) {
+    // Still advance the regularization clock: Pegasos decays w every step.
+    sgd_.ForcedStep(SparseVector(), 0.0);
+    return false;
+  }
+  sgd_.ForcedStep(x, static_cast<double>(y));
+  // Unregularized bias update with the same learning-rate schedule shape.
+  const double eta_b =
+      0.5 / (1.0 + 0.1 * static_cast<double>(sgd_.steps()));
+  bias_ += eta_b * static_cast<double>(y);
+  return true;
+}
+
+void OnlineBinarySvm::TrainBatch(const std::vector<LabeledExample>& examples,
+                                 int epochs, Rng* rng) {
+  std::vector<size_t> order(examples.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    if (rng != nullptr) rng->Shuffle(order);
+    for (size_t idx : order) {
+      Update(examples[idx].features, examples[idx].label);
+    }
+  }
+}
+
+}  // namespace ie

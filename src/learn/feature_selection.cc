@@ -1,0 +1,112 @@
+#include "learn/feature_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace ie {
+
+std::vector<WeightedFeature> TopKFeatures(const WeightVector& w, size_t k) {
+  std::vector<WeightedFeature> all;
+  all.reserve(w.dimension() / 8 + 8);
+  for (uint32_t id = 0; id < w.dimension(); ++id) {
+    const double v = std::fabs(w.Get(id));
+    if (v > 0.0) all.push_back({id, v});
+  }
+  auto better = [](const WeightedFeature& a, const WeightedFeature& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.id < b.id;
+  };
+  if (all.size() > k) {
+    std::partial_sort(all.begin(), all.begin() + static_cast<long>(k),
+                      all.end(), better);
+    all.resize(k);
+  } else {
+    std::sort(all.begin(), all.end(), better);
+  }
+  return all;
+}
+
+double GeneralizedFootrule(const std::vector<WeightedFeature>& a,
+                           const std::vector<WeightedFeature>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+
+  // Per-list normalized weights over the union of features. Duplicate ids
+  // within a list (possible for ad-hoc callers) keep their first, i.e.
+  // highest-ranked, occurrence so the distance stays symmetric.
+  std::unordered_map<uint32_t, double> wa, wb;
+  double sum_a = 0.0, sum_b = 0.0;
+  std::unordered_map<uint32_t, size_t> rank_a, rank_b;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!rank_a.emplace(a[i].id, rank_a.size()).second) continue;
+    wa[a[i].id] = a[i].weight;
+    sum_a += a[i].weight;
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    if (!rank_b.emplace(b[i].id, rank_b.size()).second) continue;
+    wb[b[i].id] = b[i].weight;
+    sum_b += b[i].weight;
+  }
+  if (sum_a > 0.0) {
+    for (auto& [id, w] : wa) w /= sum_a;
+  }
+  if (sum_b > 0.0) {
+    for (auto& [id, w] : wb) w /= sum_b;
+  }
+
+  // Union of features with combined weight; absent => tail rank.
+  struct Item {
+    uint32_t id;
+    double weight;
+    size_t pos_a;
+    size_t pos_b;
+  };
+  const size_t tail_a = rank_a.size();
+  const size_t tail_b = rank_b.size();
+  std::vector<Item> items;
+  auto combined = [&](uint32_t id) {
+    const auto ita = wa.find(id);
+    const auto itb = wb.find(id);
+    const double va = ita == wa.end() ? 0.0 : ita->second;
+    const double vb = itb == wb.end() ? 0.0 : itb->second;
+    return 0.5 * (va + vb);
+  };
+  for (const auto& [id, pos] : rank_a) {
+    const auto itb = rank_b.find(id);
+    items.push_back(
+        {id, combined(id), pos, itb == rank_b.end() ? tail_b : itb->second});
+  }
+  for (const auto& [id, pos] : rank_b) {
+    if (rank_a.count(id) > 0) continue;  // already added via list a
+    items.push_back({id, combined(id), tail_a, pos});
+  }
+
+  // Prefix weight sums in each ranking order.
+  auto prefix_for = [&](bool use_a) {
+    std::vector<size_t> order(items.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+      const size_t px = use_a ? items[x].pos_a : items[x].pos_b;
+      const size_t py = use_a ? items[y].pos_a : items[y].pos_b;
+      if (px != py) return px < py;
+      return items[x].id < items[y].id;
+    });
+    std::vector<double> prefix(items.size());
+    double run = 0.0;
+    for (size_t idx : order) {
+      run += items[idx].weight;
+      prefix[idx] = run;
+    }
+    return prefix;
+  };
+  const std::vector<double> pa = prefix_for(true);
+  const std::vector<double> pb = prefix_for(false);
+
+  double f = 0.0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    f += items[i].weight * std::fabs(pa[i] - pb[i]);
+  }
+  return f;
+}
+
+}  // namespace ie

@@ -1,0 +1,49 @@
+#include "learn/one_class_svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ie {
+
+double OneClassSvm::Kernel(const SparseVector& a, const SparseVector& b)
+    const {
+  const double d2 =
+      a.L2NormSquared() + b.L2NormSquared() - 2.0 * Dot(a, b);
+  return std::exp(-options_.gamma * std::max(0.0, d2));
+}
+
+double OneClassSvm::Decision(const SparseVector& x) const {
+  double f = 0.0;
+  for (size_t i = 0; i < support_.size(); ++i) {
+    f += alphas_[i] * Kernel(support_[i], x);
+  }
+  return f;
+}
+
+void OneClassSvm::Evict() {
+  if (support_.size() <= options_.budget) return;
+  size_t victim = 0;
+  for (size_t i = 1; i < alphas_.size(); ++i) {
+    if (std::fabs(alphas_[i]) < std::fabs(alphas_[victim])) victim = i;
+  }
+  support_.erase(support_.begin() + static_cast<long>(victim));
+  alphas_.erase(alphas_.begin() + static_cast<long>(victim));
+}
+
+void OneClassSvm::Observe(const SparseVector& x) {
+  ++steps_;
+  const double eta =
+      1.0 / (options_.lambda * (static_cast<double>(steps_) + 2.0));
+  const double f = Decision(x);
+  // Pegasos decay of existing coefficients.
+  const double decay = 1.0 - eta * options_.lambda;
+  for (double& alpha : alphas_) alpha *= decay;
+  // Hinge on f(x) >= 1: inside the region already => no new SV.
+  if (f < 1.0) {
+    support_.push_back(x);
+    alphas_.push_back(eta);
+    Evict();
+  }
+}
+
+}  // namespace ie

@@ -1,0 +1,51 @@
+// Online one-class SVM with a Gaussian kernel, trained with Pegasos-style
+// steps over a budgeted support-vector set. This powers the Feat-S
+// feature-shift baseline (Glazer et al., ICPR'12, as adapted by the paper:
+// "an efficient version of feature shifting using an online one-class SVM
+// based on Pegasos", Gaussian kernel, γ = 0.01).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "text/sparse_vector.h"
+
+namespace ie {
+
+struct OneClassSvmOptions {
+  double gamma = 0.01;   // Gaussian kernel width
+  double lambda = 0.01;  // regularization
+  size_t budget = 128;   // max support vectors (smallest-|α| eviction)
+};
+
+class OneClassSvm {
+ public:
+  explicit OneClassSvm(OneClassSvmOptions options, uint64_t seed = 13)
+      : options_(options), rng_(seed) {}
+
+  /// Decision value f(x) = Σ α_i K(sv_i, x). Inliers score high.
+  double Decision(const SparseVector& x) const;
+
+  /// True when x falls inside the learned support region (f(x) ≥ margin).
+  bool IsInlier(const SparseVector& x, double margin = 0.5) const {
+    return Decision(x) >= margin;
+  }
+
+  /// One Pegasos step on example x (target f(x) ≥ 1).
+  void Observe(const SparseVector& x);
+
+  size_t NumSupportVectors() const { return alphas_.size(); }
+
+ private:
+  double Kernel(const SparseVector& a, const SparseVector& b) const;
+  void Evict();
+
+  OneClassSvmOptions options_;
+  Rng rng_;
+  std::vector<SparseVector> support_;
+  std::vector<double> alphas_;
+  size_t steps_ = 0;
+};
+
+}  // namespace ie

@@ -1,0 +1,349 @@
+#include "pipeline/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "learn/feature_selection.h"
+#include "ranking/learned_rankers.h"
+#include "ranking/query_learning.h"
+
+namespace ie {
+
+const char* RankerKindName(RankerKind kind) {
+  switch (kind) {
+    case RankerKind::kRandom:
+      return "Random";
+    case RankerKind::kPerfect:
+      return "Perfect";
+    case RankerKind::kBAggIE:
+      return "BAgg-IE";
+    case RankerKind::kRSVMIE:
+      return "RSVM-IE";
+  }
+  return "?";
+}
+
+const char* UpdateKindName(UpdateKind kind) {
+  switch (kind) {
+    case UpdateKind::kNone:
+      return "none";
+    case UpdateKind::kWindF:
+      return "Wind-F";
+    case UpdateKind::kFeatS:
+      return "Feat-S";
+    case UpdateKind::kTopK:
+      return "Top-K";
+    case UpdateKind::kModC:
+      return "Mod-C";
+  }
+  return "?";
+}
+
+PipelineConfig PipelineConfig::Defaults(RankerKind ranker,
+                                        SamplerKind sampler,
+                                        UpdateKind update, uint64_t seed) {
+  PipelineConfig config;
+  config.ranker = ranker;
+  config.sampler = sampler;
+  config.update = update;
+  config.seed = seed;
+  // Paper values are 5 deg (RSVM-IE) and 30 deg (BAgg-IE); our models
+  // drift less per observed document (smaller effective learning rate), so
+  // the thresholds are recalibrated to preserve the paper's update-count
+  // regime (tens of updates, concentrated early).
+  config.modc.alpha_degrees =
+      ranker == RankerKind::kBAggIE ? 2.0 : 2.0;
+  return config;
+}
+
+std::vector<SparseVector> FeaturizePool(const Corpus& corpus,
+                                        const Featurizer& featurizer) {
+  std::vector<SparseVector> features(corpus.size());
+  for (DocId id = 0; id < corpus.size(); ++id) {
+    features[id] = featurizer.Featurize(corpus.doc(id));
+  }
+  return features;
+}
+
+std::vector<float> ComputeIdf(const Corpus& corpus) {
+  std::vector<uint32_t> df(corpus.vocab().size(), 0);
+  std::vector<uint32_t> seen_at(corpus.vocab().size(), 0xffffffffu);
+  for (DocId id = 0; id < corpus.size(); ++id) {
+    for (const Sentence& sentence : corpus.doc(id).sentences) {
+      for (TokenId token : sentence.tokens) {
+        if (token < df.size() && seen_at[token] != id) {
+          seen_at[token] = id;
+          ++df[token];
+        }
+      }
+    }
+  }
+  std::vector<float> idf(df.size());
+  const double n = static_cast<double>(corpus.size());
+  for (size_t i = 0; i < df.size(); ++i) {
+    idf[i] = static_cast<float>(std::log(1.0 + n / (df[i] + 1.0)));
+  }
+  return idf;
+}
+
+InvertedIndex BuildPoolIndex(const Corpus& corpus,
+                             const std::vector<DocId>& pool) {
+  InvertedIndex index;
+  for (DocId id : pool) {
+    IE_CHECK(index.Add(corpus.doc(id)).ok());
+  }
+  return index;
+}
+
+namespace {
+
+std::unique_ptr<DocumentRanker> MakeRanker(const PipelineConfig& config,
+                                           uint64_t seed) {
+  switch (config.ranker) {
+    case RankerKind::kRandom:
+      return std::make_unique<RandomRanker>(seed);
+    case RankerKind::kPerfect:
+      return std::make_unique<PerfectRanker>();
+    case RankerKind::kBAggIE:
+      return std::make_unique<BaggIeRanker>(config.bagg, seed);
+    case RankerKind::kRSVMIE:
+      return std::make_unique<RsvmIeRanker>(config.rsvm, seed);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<UpdateDetector> MakeDetector(const PipelineConfig& config,
+                                             size_t pool_size,
+                                             uint64_t seed) {
+  switch (config.update) {
+    case UpdateKind::kNone:
+      return std::make_unique<NeverUpdateDetector>();
+    case UpdateKind::kWindF:
+      return std::make_unique<WindFDetector>(
+          std::max<size_t>(1, pool_size / config.windf_updates));
+    case UpdateKind::kFeatS:
+      return std::make_unique<FeatSDetector>(config.feats);
+    case UpdateKind::kTopK:
+      return std::make_unique<TopKDetector>(config.topk);
+    case UpdateKind::kModC:
+      return std::make_unique<ModCDetector>(config.modc, seed);
+  }
+  return nullptr;
+}
+
+/// Support set of a model's non-zero weights (feature-churn accounting).
+std::unordered_set<uint32_t> WeightSupport(const WeightVector& w) {
+  std::unordered_set<uint32_t> support;
+  for (uint32_t id = 0; id < w.dimension(); ++id) {
+    if (std::abs(w.Get(id)) > 1e-9) support.insert(id);
+  }
+  return support;
+}
+
+}  // namespace
+
+PipelineResult AdaptiveExtractionPipeline::Run(
+    const PipelineContext& context, const PipelineConfig& config) {
+  IE_CHECK(context.corpus != nullptr && context.pool != nullptr &&
+           context.outcomes != nullptr && context.relation != nullptr &&
+           context.featurizer != nullptr &&
+           context.word_features != nullptr);
+  Rng rng(config.seed);
+
+  PipelineResult result;
+  result.pool_size = context.pool->size();
+  result.pool_useful = context.outcomes->CountUseful(*context.pool);
+
+  std::unordered_set<DocId> processed;
+  auto process_doc = [&](DocId id) -> LabeledExample {
+    const bool useful = context.outcomes->useful(id);
+    result.extraction_seconds += context.relation->extraction_cost_seconds;
+    result.processing_order.push_back(id);
+    result.processed_useful.push_back(useful ? 1 : 0);
+    processed.insert(id);
+    if (useful) {
+      return {context.featurizer->Featurize(
+                  context.corpus->doc(id),
+                  context.outcomes->AttributeValues(id)),
+              1};
+    }
+    return {(*context.word_features)[id], -1};
+  };
+
+  // ---- Initial sample ------------------------------------------------
+  std::unique_ptr<Sampler> sampler;
+  if (config.sampler == SamplerKind::kCQS) {
+    IE_CHECK(context.index != nullptr && context.cqs_queries != nullptr);
+    sampler = std::make_unique<CqsSampler>(*context.cqs_queries,
+                                           context.index,
+                                           &context.corpus->vocab());
+  } else {
+    sampler = std::make_unique<SrsSampler>();
+  }
+  const std::vector<DocId> sample = sampler->Sample(
+      *context.pool, std::min(config.sample_size, context.pool->size()),
+      &rng);
+
+  std::vector<LabeledExample> sample_examples;
+  sample_examples.reserve(sample.size());
+  for (DocId id : sample) sample_examples.push_back(process_doc(id));
+  result.warmup_documents = sample.size();
+
+  // ---- Ranking generation ----------------------------------------------
+  std::unique_ptr<DocumentRanker> ranker =
+      MakeRanker(config, rng.NextUint64());
+  {
+    CpuTimer timer;
+    ranker->TrainInitial(sample_examples);
+    result.ranking_cpu_seconds += timer.ElapsedSeconds();
+  }
+  std::unique_ptr<UpdateDetector> detector =
+      MakeDetector(config, context.pool->size(), rng.NextUint64());
+  detector->OnModelUpdated(*ranker, sample_examples);
+  std::unordered_set<uint32_t> prev_support =
+      WeightSupport(ranker->ModelWeights());
+
+  // ---- Candidate pool --------------------------------------------------
+  std::vector<DocId> remaining;
+  std::unordered_set<DocId> in_pool(processed.begin(), processed.end());
+  auto add_candidate = [&](DocId id) {
+    if (in_pool.insert(id).second) remaining.push_back(id);
+  };
+  if (config.access == AccessMode::kFullAccess) {
+    for (DocId id : *context.pool) add_candidate(id);
+  } else {
+    IE_CHECK(context.index != nullptr);
+    const std::vector<std::string> queries =
+        LearnQueries(sample_examples, context.corpus->vocab(),
+                     QueryMethod::kSvmWeights, config.search_initial_queries,
+                     rng.NextUint64());
+    for (const std::string& query : queries) {
+      for (const SearchHit& hit : context.index->SearchText(
+               query, context.corpus->vocab(), config.search_initial_depth)) {
+        add_candidate(hit.doc);
+      }
+    }
+  }
+  rng.Shuffle(remaining);  // deterministic tie-break for equal scores
+
+  const bool adaptive =
+      config.update != UpdateKind::kNone &&
+      (config.ranker == RankerKind::kBAggIE ||
+       config.ranker == RankerKind::kRSVMIE);
+
+  auto rerank = [&](std::vector<DocId>& docs) {
+    // With worker threads, thread-CPU time misses the workers; fall back
+    // to wall time for the overhead accounting in that configuration.
+    CpuTimer cpu_timer;
+    WallTimer wall_timer;
+    ranker->SnapshotForScoring();
+    std::vector<std::pair<float, DocId>> scored(docs.size());
+    auto score_one = [&](size_t i) {
+      const DocId id = docs[i];
+      double score;
+      if (config.ranker == RankerKind::kPerfect) {
+        score = context.outcomes->useful(id) ? 1.0 : 0.0;
+      } else {
+        score = ranker->Score((*context.word_features)[id]);
+      }
+      scored[i] = {static_cast<float>(score), id};
+    };
+    if (config.scoring_threads > 1 &&
+        config.ranker != RankerKind::kRandom) {
+      ParallelFor(docs.size(), config.scoring_threads, score_one);
+    } else {
+      for (size_t i = 0; i < docs.size(); ++i) score_one(i);
+    }
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first > b.first;
+                     });
+    for (size_t i = 0; i < docs.size(); ++i) docs[i] = scored[i].second;
+    result.ranking_cpu_seconds += config.scoring_threads > 1
+                                      ? wall_timer.ElapsedSeconds()
+                                      : cpu_timer.ElapsedSeconds();
+  };
+  rerank(remaining);
+
+  // ---- Extraction loop ---------------------------------------------------
+  std::vector<LabeledExample> buffer;
+  size_t cursor = 0;
+  while (cursor < remaining.size()) {
+    const DocId id = remaining[cursor++];
+    LabeledExample example = process_doc(id);
+    const bool useful = example.label > 0;
+
+    bool triggered;
+    {
+      CpuTimer timer;
+      triggered = detector->Observe(example.features, useful, *ranker);
+      result.detector_cpu_seconds += timer.ElapsedSeconds();
+    }
+    buffer.push_back(std::move(example));
+
+    if (triggered && adaptive && cursor < remaining.size()) {
+      {
+        CpuTimer timer;
+        for (const LabeledExample& ex : buffer) {
+          ranker->Observe(ex.features, ex.label > 0);
+        }
+        result.ranking_cpu_seconds += timer.ElapsedSeconds();
+      }
+      // Feature churn between consecutive models.
+      const std::unordered_set<uint32_t> support =
+          WeightSupport(ranker->ModelWeights());
+      size_t added = 0, removed = 0;
+      for (uint32_t f : support) added += prev_support.count(f) == 0;
+      for (uint32_t f : prev_support) removed += support.count(f) == 0;
+      result.features_added_per_update.push_back(added);
+      result.features_removed_per_update.push_back(removed);
+      prev_support = support;
+
+      detector->OnModelUpdated(*ranker, buffer);
+      buffer.clear();
+      result.update_positions.push_back(result.processing_order.size());
+
+      // Search-interface scenario: turn the refreshed model's top features
+      // into new queries and grow the candidate pool.
+      if (config.access == AccessMode::kSearchInterface) {
+        const WeightVector weights = ranker->ModelWeights();
+        for (const WeightedFeature& f :
+             TopKFeatures(weights, config.search_refresh_features)) {
+          if (f.id >= context.corpus->vocab().size()) continue;
+          const std::string& term = context.corpus->vocab().Term(f.id);
+          if (!IsQueryableTerm(term)) continue;
+          for (const SearchHit& hit : context.index->SearchText(
+                   term, context.corpus->vocab(),
+                   config.search_refresh_depth)) {
+            add_candidate(hit.doc);
+          }
+        }
+      }
+
+      remaining.erase(remaining.begin(),
+                      remaining.begin() + static_cast<long>(cursor));
+      cursor = 0;
+      rerank(remaining);
+    }
+  }
+
+  // Search-interface scenario: documents never retrieved by any query are
+  // processed last, in random order (so metrics cover the full pool).
+  if (config.access == AccessMode::kSearchInterface) {
+    std::vector<DocId> leftovers;
+    for (DocId id : *context.pool) {
+      if (processed.count(id) == 0) leftovers.push_back(id);
+    }
+    rng.Shuffle(leftovers);
+    for (DocId id : leftovers) process_doc(id);
+  }
+
+  result.final_model_features = ranker->NonZeroFeatureCount();
+  return result;
+}
+
+}  // namespace ie

@@ -1,0 +1,101 @@
+// AdaptiveExtractionPipeline — the paper's Figure 2 loop: initial sample →
+// ranking generation → ordered tuple extraction → update detection →
+// (adaptive) model refresh and re-rank. Supports the full-access scenario
+// (rank the whole pool) and the search-interface scenario (grow the pool by
+// querying with the top features of the updated model).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "extract/extraction_system.h"
+#include "index/inverted_index.h"
+#include "pipeline/result.h"
+#include "ranking/document_ranker.h"
+#include "ranking/learned_rankers.h"
+#include "sampling/sampler.h"
+#include "text/featurizer.h"
+#include "update/update_detector.h"
+
+namespace ie {
+
+enum class RankerKind { kRandom, kPerfect, kBAggIE, kRSVMIE };
+enum class SamplerKind { kSRS, kCQS };
+enum class UpdateKind { kNone, kWindF, kFeatS, kTopK, kModC };
+enum class AccessMode { kFullAccess, kSearchInterface };
+
+const char* RankerKindName(RankerKind kind);
+const char* UpdateKindName(UpdateKind kind);
+
+struct PipelineConfig {
+  RankerKind ranker = RankerKind::kRSVMIE;
+  SamplerKind sampler = SamplerKind::kSRS;
+  UpdateKind update = UpdateKind::kNone;
+  AccessMode access = AccessMode::kFullAccess;
+
+  /// Initial sample budget. The paper uses 2000 over a ~1.1M-document test
+  /// split (~0.2%); at bench scale use ~1-2% of the pool.
+  size_t sample_size = 200;
+  uint64_t seed = 1;
+
+  /// Learned-ranker hyperparameters (paper defaults; ablations override).
+  RsvmIeOptions rsvm = {};
+  BaggIeOptions bagg = {};
+
+  /// Wind-F fires this many times over the run (paper: 50).
+  size_t windf_updates = 50;
+  TopKOptions topk = {};
+  ModCOptions modc = {};  // alpha auto-set per ranker by Defaults()
+  FeatSOptions feats = {};
+
+  /// Worker threads for bulk re-rank scoring (1 = serial; >1 uses
+  /// ParallelFor and reports re-rank overhead in wall time).
+  size_t scoring_threads = 1;
+
+  /// Search-interface scenario parameters.
+  size_t search_initial_queries = 20;
+  size_t search_initial_depth = 400;
+  size_t search_refresh_features = 100;  // paper: top-100 features
+  size_t search_refresh_depth = 100;
+
+  /// Builds a config with the paper's per-ranker detector defaults
+  /// (Mod-C α: 5° for RSVM-IE, 30° for BAgg-IE).
+  static PipelineConfig Defaults(RankerKind ranker, SamplerKind sampler,
+                                 UpdateKind update, uint64_t seed);
+};
+
+/// Immutable per-experiment inputs shared across seeds and configurations.
+struct PipelineContext {
+  const Corpus* corpus = nullptr;
+  const std::vector<DocId>* pool = nullptr;  // e.g. the test split
+  const ExtractionOutcomes* outcomes = nullptr;
+  const RelationSpec* relation = nullptr;
+  Featurizer* featurizer = nullptr;
+  /// Word-feature vectors indexed by DocId (see FeaturizePool).
+  const std::vector<SparseVector>* word_features = nullptr;
+  /// Index over the pool; required for CQS and search-interface access.
+  const InvertedIndex* index = nullptr;
+  /// One learned query list for CQS (required when sampler == kCQS).
+  const std::vector<std::string>* cqs_queries = nullptr;
+};
+
+/// Precomputes word features for every document of the corpus.
+std::vector<SparseVector> FeaturizePool(const Corpus& corpus,
+                                        const Featurizer& featurizer);
+
+/// Smoothed idf table over the corpus: ln(1 + N / (df + 1)) per token id.
+std::vector<float> ComputeIdf(const Corpus& corpus);
+
+/// Builds an index over the pool documents.
+InvertedIndex BuildPoolIndex(const Corpus& corpus,
+                             const std::vector<DocId>& pool);
+
+class AdaptiveExtractionPipeline {
+ public:
+  static PipelineResult Run(const PipelineContext& context,
+                            const PipelineConfig& config);
+};
+
+}  // namespace ie

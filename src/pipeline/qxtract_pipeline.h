@@ -1,0 +1,33 @@
+// QXtract baseline (Agichtein & Gravano, ICDE'03; the paper's Figure 1,
+// left path). QXtract learns keyword queries from an automatically labeled
+// sample and processes the retrieved documents in plain retrieval order —
+// no usefulness re-ranking. The paper evaluated it and found it dominated
+// by FactCrawl; this pipeline exists so that claim can be checked here
+// too (see bench_table4's optional QXtract row and qxtract tests).
+#pragma once
+
+#include "pipeline/pipeline.h"
+
+namespace ie {
+
+struct QXtractConfig {
+  SamplerKind sampler = SamplerKind::kSRS;
+  size_t sample_size = 200;
+  uint64_t seed = 1;
+  /// Queries learned per generation method (all three methods are used,
+  /// mirroring QXtract's committee of query learners).
+  size_t queries_per_method = 15;
+  /// Retrieval depth per query; 0 = pool-proportional (5%).
+  size_t retrieved_per_query = 0;
+};
+
+/// Runs QXtract document selection: sample -> learn queries -> retrieve ->
+/// process retrieved documents in rank-of-retrieval order -> process the
+/// never-retrieved remainder in random order.
+class QXtractPipeline {
+ public:
+  static PipelineResult Run(const PipelineContext& context,
+                            const QXtractConfig& config);
+};
+
+}  // namespace ie

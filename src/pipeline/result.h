@@ -1,0 +1,48 @@
+// PipelineResult: everything the evaluation layer needs from one
+// extraction run — the processing order with per-document usefulness, the
+// update log, and the cost decomposition (simulated extraction seconds +
+// measured ranking/detection overhead).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "text/document.h"
+
+namespace ie {
+
+struct PipelineResult {
+  /// Documents in the order they were processed (sample first).
+  std::vector<DocId> processing_order;
+  /// Usefulness verdict per processed document (aligned with order).
+  std::vector<uint8_t> processed_useful;
+
+  size_t pool_size = 0;
+  /// Useful documents in the full pool (recall denominator).
+  size_t pool_useful = 0;
+  /// Prefix of processing_order consumed by sampling/query evaluation.
+  size_t warmup_documents = 0;
+
+  /// Positions (processed-document counts) where model updates fired.
+  std::vector<size_t> update_positions;
+
+  /// Simulated extraction time (per-document cost model).
+  double extraction_seconds = 0.0;
+  /// Measured CPU time inside the update detector.
+  double detector_cpu_seconds = 0.0;
+  /// Measured CPU time spent training/scoring/sorting (ranking overhead).
+  double ranking_cpu_seconds = 0.0;
+
+  /// Non-zero feature count of the final model (0 for rankers without one).
+  size_t final_model_features = 0;
+  /// Features added/removed across updates (feature-churn telemetry).
+  std::vector<size_t> features_added_per_update;
+  std::vector<size_t> features_removed_per_update;
+
+  double TotalSeconds() const {
+    return extraction_seconds + detector_cpu_seconds + ranking_cpu_seconds;
+  }
+  size_t NumUpdates() const { return update_positions.size(); }
+};
+
+}  // namespace ie

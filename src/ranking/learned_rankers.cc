@@ -1,0 +1,44 @@
+#include "ranking/learned_rankers.h"
+
+#include <cmath>
+
+namespace ie {
+
+void RsvmIeRanker::TrainInitial(const std::vector<LabeledExample>& sample) {
+  // Load the sample into the reservoir pools without per-observation
+  // training, then take the configured number of pairwise steps.
+  for (const LabeledExample& ex : sample) {
+    // Temporarily zero the per-observation step count by training manually.
+    if (ex.label > 0) {
+      svm_.Observe(ex.features, true);
+    } else {
+      svm_.Observe(ex.features, false);
+    }
+  }
+  svm_.TrainPairs(options_.initial_pair_steps);
+  SnapshotForScoring();
+}
+
+void RsvmIeRanker::Observe(const SparseVector& features, bool useful) {
+  svm_.Observe(features, useful);
+}
+
+void BaggIeRanker::SnapshotForScoring() {
+  snapshots_.clear();
+  snapshot_biases_.clear();
+  for (size_t i = 0; i < committee_.committee_size(); ++i) {
+    snapshots_.push_back(committee_.member(i).DenseWeights());
+    snapshot_biases_.push_back(committee_.member(i).bias());
+  }
+}
+
+double BaggIeRanker::Score(const SparseVector& features) const {
+  double s = 0.0;
+  for (size_t i = 0; i < snapshots_.size(); ++i) {
+    const double margin = snapshots_[i].Dot(features) + snapshot_biases_[i];
+    s += 1.0 / (1.0 + std::exp(-margin));
+  }
+  return s;
+}
+
+}  // namespace ie

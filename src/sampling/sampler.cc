@@ -1,0 +1,73 @@
+#include "sampling/sampler.h"
+
+#include <unordered_set>
+
+namespace ie {
+
+std::vector<DocId> SrsSampler::Sample(const std::vector<DocId>& pool,
+                                      size_t n, Rng* rng) {
+  const size_t k = std::min(n, pool.size());
+  std::vector<DocId> out;
+  out.reserve(k);
+  for (size_t idx : rng->SampleWithoutReplacement(pool.size(), k)) {
+    out.push_back(pool[idx]);
+  }
+  return out;
+}
+
+CqsSampler::CqsSampler(std::vector<std::string> queries,
+                       const InvertedIndex* index, const Vocabulary* vocab,
+                       size_t batch_per_query, size_t max_retrieval_depth)
+    : queries_(std::move(queries)),
+      index_(index),
+      vocab_(vocab),
+      batch_per_query_(batch_per_query),
+      max_retrieval_depth_(max_retrieval_depth) {}
+
+std::vector<DocId> CqsSampler::Sample(const std::vector<DocId>& pool,
+                                      size_t n, Rng* rng) {
+  const std::unordered_set<DocId> pool_set(pool.begin(), pool.end());
+  std::unordered_set<DocId> seen;
+  std::vector<DocId> out;
+
+  // Pre-fetch each query's ranked hits once; cursors page through them.
+  std::vector<std::vector<SearchHit>> hits(queries_.size());
+  std::vector<size_t> cursor(queries_.size(), 0);
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    hits[q] = index_->SearchText(queries_[q], *vocab_,
+                                 max_retrieval_depth_);
+  }
+
+  bool progress = true;
+  while (out.size() < n && progress && !queries_.empty()) {
+    progress = false;
+    for (size_t q = 0; q < queries_.size() && out.size() < n; ++q) {
+      size_t taken = 0;
+      while (taken < batch_per_query_ && cursor[q] < hits[q].size() &&
+             out.size() < n) {
+        const DocId doc = hits[q][cursor[q]++].doc;
+        ++taken;
+        progress = true;
+        if (pool_set.count(doc) == 0) continue;
+        if (!seen.insert(doc).second) continue;
+        out.push_back(doc);
+      }
+    }
+  }
+
+  // Random fill when the queries cannot satisfy the budget.
+  if (out.size() < n) {
+    std::vector<DocId> rest;
+    for (DocId doc : pool) {
+      if (seen.count(doc) == 0) rest.push_back(doc);
+    }
+    rng->Shuffle(rest);
+    for (DocId doc : rest) {
+      if (out.size() >= n) break;
+      out.push_back(doc);
+    }
+  }
+  return out;
+}
+
+}  // namespace ie

@@ -1,0 +1,60 @@
+// Initial-sample collection strategies (paper Section 4):
+//   SRS — simple random sampling from the pool (full-access only);
+//   CQS — cyclic query sampling: iterate over a learned query list,
+//         collecting the unseen documents from the next K hits of each
+//         query until the sample budget is reached.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/inverted_index.h"
+#include "text/document.h"
+#include "text/vocabulary.h"
+
+namespace ie {
+
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// Picks up to `n` distinct documents from `pool`.
+  virtual std::vector<DocId> Sample(const std::vector<DocId>& pool, size_t n,
+                                    Rng* rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+class SrsSampler : public Sampler {
+ public:
+  std::vector<DocId> Sample(const std::vector<DocId>& pool, size_t n,
+                            Rng* rng) override;
+  std::string name() const override { return "SRS"; }
+};
+
+class CqsSampler : public Sampler {
+ public:
+  /// `queries` is one learned query list (paper: learned with the QXtract
+  /// SVM method on a separate collection); `batch_per_query` is the K of
+  /// "the next K documents that each query retrieves".
+  CqsSampler(std::vector<std::string> queries, const InvertedIndex* index,
+             const Vocabulary* vocab, size_t batch_per_query = 10,
+             size_t max_retrieval_depth = 2000);
+
+  /// Cycles over the query list; when the queries are exhausted before the
+  /// budget is met, falls back to random fill from the pool.
+  std::vector<DocId> Sample(const std::vector<DocId>& pool, size_t n,
+                            Rng* rng) override;
+  std::string name() const override { return "CQS"; }
+
+ private:
+  std::vector<std::string> queries_;
+  const InvertedIndex* index_;
+  const Vocabulary* vocab_;
+  size_t batch_per_query_;
+  size_t max_retrieval_depth_;
+};
+
+}  // namespace ie

@@ -1,0 +1,40 @@
+// Document representation. Tokens are interned ids against a shared
+// Vocabulary; documents store sentences of token ids, which is what both
+// the extractors (sentence-scoped relation detection) and the featurizer
+// (bag-of-words) consume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace ie {
+
+using TokenId = uint32_t;
+using DocId = uint32_t;
+
+struct Sentence {
+  std::vector<TokenId> tokens;
+
+  size_t size() const { return tokens.size(); }
+};
+
+struct Document {
+  DocId id = 0;
+  std::vector<Sentence> sentences;
+
+  size_t TokenCount() const {
+    size_t n = 0;
+    for (const Sentence& s : sentences) n += s.size();
+    return n;
+  }
+};
+
+/// Reconstructs a whitespace-joined string for a sentence (debugging,
+/// examples). Token ids must be valid in `vocab`.
+std::string SentenceToString(const Sentence& sentence,
+                             const Vocabulary& vocab);
+
+}  // namespace ie

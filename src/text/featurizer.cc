@@ -1,0 +1,69 @@
+#include "text/featurizer.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace ie {
+
+void Featurizer::CollectEntries(
+    const Document& doc, std::vector<SparseVector::Entry>& entries) const {
+  std::unordered_map<uint32_t, float> counts;
+  for (const Sentence& sentence : doc.sentences) {
+    for (size_t i = 0; i < sentence.tokens.size(); ++i) {
+      counts[sentence.tokens[i]] += 1.0f;
+      if (options_.use_bigrams && i + 1 < sentence.tokens.size()) {
+        const std::string bigram = vocab_->Term(sentence.tokens[i]) + "_" +
+                                   vocab_->Term(sentence.tokens[i + 1]);
+        counts[vocab_->Intern(bigram)] += 1.0f;
+      }
+    }
+  }
+  entries.reserve(entries.size() + counts.size());
+  for (const auto& [id, tf] : counts) {
+    const float value =
+        options_.log_tf ? 1.0f + std::log(tf) : tf;
+    entries.emplace_back(id, value);
+  }
+}
+
+SparseVector Featurizer::Finish(
+    std::vector<SparseVector::Entry> entries) const {
+  if (!idf_.empty()) {
+    for (auto& [id, value] : entries) {
+      value *= id < idf_.size() ? idf_[id] : default_idf_;
+    }
+  }
+  SparseVector v = SparseVector::FromUnsorted(std::move(entries));
+  if (options_.l2_normalize) v.Normalize();
+  return v;
+}
+
+void Featurizer::SetIdf(std::vector<float> idf, float default_idf) {
+  idf_ = std::move(idf);
+  default_idf_ = default_idf;
+}
+
+SparseVector Featurizer::Featurize(const Document& doc) const {
+  std::vector<SparseVector::Entry> entries;
+  CollectEntries(doc, entries);
+  return Finish(std::move(entries));
+}
+
+SparseVector Featurizer::Featurize(
+    const Document& doc,
+    const std::vector<std::string>& attribute_values) const {
+  std::vector<SparseVector::Entry> entries;
+  CollectEntries(doc, entries);
+  for (const std::string& value : attribute_values) {
+    entries.emplace_back(AttributeFeatureId(value), 1.0f);
+  }
+  return Finish(std::move(entries));
+}
+
+uint32_t Featurizer::AttributeFeatureId(std::string_view value) const {
+  std::string feature = "attr:";
+  feature += value;
+  return vocab_->Intern(feature);
+}
+
+}  // namespace ie

@@ -1,0 +1,68 @@
+// Featurization: documents -> sparse feature vectors. The feature space is
+// the shared Vocabulary, so word features and tuple-attribute features
+// ("attr:tsunami") coexist in one id space, as the paper's ranking models
+// require ("the documents' words as well as the attribute values of tuples
+// extracted from them as features").
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/document.h"
+#include "text/sparse_vector.h"
+#include "text/vocabulary.h"
+
+namespace ie {
+
+struct FeaturizerOptions {
+  /// Add adjacent-pair phrase features ("w1_w2") in addition to unigrams.
+  bool use_bigrams = false;
+  /// Use 1 + ln(tf) instead of raw term frequency.
+  bool log_tf = true;
+  /// ℓ2-normalize the final vector (standard for SVM-based text models).
+  bool l2_normalize = true;
+};
+
+class Featurizer {
+ public:
+  /// `vocab` must outlive the featurizer; bigram and attribute features are
+  /// interned into it on demand.
+  Featurizer(Vocabulary* vocab, FeaturizerOptions options = {})
+      : vocab_(vocab), options_(options) {}
+
+  /// Bag-of-words (and optionally bigram) features for a document.
+  SparseVector Featurize(const Document& doc) const;
+
+  /// Featurize and append tuple-attribute features: one feature
+  /// "attr:<value>" per distinct attribute value, weight 1 (before
+  /// normalization).
+  SparseVector Featurize(const Document& doc,
+                         const std::vector<std::string>& attribute_values)
+      const;
+
+  /// Id of the attribute feature for `value` (interned).
+  uint32_t AttributeFeatureId(std::string_view value) const;
+
+  /// Installs inverse-document-frequency weights (indexed by feature id;
+  /// features beyond the table — e.g. attribute features interned later —
+  /// get `default_idf`). Values are multiplied into term weights before
+  /// normalization.
+  void SetIdf(std::vector<float> idf, float default_idf = 3.0f);
+  bool has_idf() const { return !idf_.empty(); }
+
+  const FeaturizerOptions& options() const { return options_; }
+  Vocabulary* vocab() const { return vocab_; }
+
+ private:
+  void CollectEntries(const Document& doc,
+                      std::vector<SparseVector::Entry>& entries) const;
+  SparseVector Finish(std::vector<SparseVector::Entry> entries) const;
+
+  Vocabulary* vocab_;
+  FeaturizerOptions options_;
+  std::vector<float> idf_;
+  float default_idf_ = 3.0f;
+};
+
+}  // namespace ie

@@ -1,0 +1,157 @@
+#include "text/sparse_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ie {
+
+SparseVector SparseVector::FromUnsorted(std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.first < b.first; });
+  SparseVector out;
+  out.entries_.reserve(entries.size());
+  for (const Entry& e : entries) {
+    if (!out.entries_.empty() && out.entries_.back().first == e.first) {
+      out.entries_.back().second += e.second;
+    } else {
+      out.entries_.push_back(e);
+    }
+  }
+  // Drop exact zeros (possible after duplicate summation).
+  out.entries_.erase(
+      std::remove_if(out.entries_.begin(), out.entries_.end(),
+                     [](const Entry& e) { return e.second == 0.0f; }),
+      out.entries_.end());
+  return out;
+}
+
+float SparseVector::Get(uint32_t id) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const Entry& e, uint32_t key) { return e.first < key; });
+  if (it != entries_.end() && it->first == id) return it->second;
+  return 0.0f;
+}
+
+double SparseVector::L2NormSquared() const {
+  double s = 0.0;
+  for (const Entry& e : entries_) s += static_cast<double>(e.second) * e.second;
+  return s;
+}
+
+double SparseVector::L2Norm() const { return std::sqrt(L2NormSquared()); }
+
+double SparseVector::L1Norm() const {
+  double s = 0.0;
+  for (const Entry& e : entries_) s += std::fabs(e.second);
+  return s;
+}
+
+void SparseVector::Scale(float factor) {
+  for (Entry& e : entries_) e.second *= factor;
+}
+
+void SparseVector::Normalize() {
+  const double norm = L2Norm();
+  if (norm > 0.0) Scale(static_cast<float>(1.0 / norm));
+}
+
+double Dot(const SparseVector& a, const SparseVector& b) {
+  double s = 0.0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (ia->first < ib->first) {
+      ++ia;
+    } else if (ib->first < ia->first) {
+      ++ib;
+    } else {
+      s += static_cast<double>(ia->second) * ib->second;
+      ++ia;
+      ++ib;
+    }
+  }
+  return s;
+}
+
+double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
+  const double na = a.L2Norm();
+  const double nb = b.L2Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+void WeightVector::AddScaled(const SparseVector& x, double factor) {
+  if (!x.empty()) EnsureSize(x.DimensionBound());
+  for (const auto& [id, value] : x) {
+    w_[id] += factor * value;
+  }
+}
+
+void WeightVector::Scale(double factor) {
+  for (double& w : w_) w *= factor;
+}
+
+double WeightVector::Dot(const SparseVector& x) const {
+  double s = 0.0;
+  for (const auto& [id, value] : x) {
+    if (id < w_.size()) s += w_[id] * value;
+  }
+  return s;
+}
+
+double WeightVector::L2NormSquared() const {
+  double s = 0.0;
+  for (double w : w_) s += w * w;
+  return s;
+}
+
+double WeightVector::L1Norm() const {
+  double s = 0.0;
+  for (double w : w_) s += std::fabs(w);
+  return s;
+}
+
+size_t WeightVector::NonZeroCount(double eps) const {
+  size_t n = 0;
+  for (double w : w_) {
+    if (std::fabs(w) > eps) ++n;
+  }
+  return n;
+}
+
+void WeightVector::SoftThreshold(double amount) {
+  if (amount <= 0.0) return;
+  for (double& w : w_) {
+    if (w > amount) {
+      w -= amount;
+    } else if (w < -amount) {
+      w += amount;
+    } else {
+      w = 0.0;
+    }
+  }
+}
+
+double WeightVector::Cosine(const WeightVector& a, const WeightVector& b) {
+  const size_t n = std::min(a.w_.size(), b.w_.size());
+  double dot = 0.0;
+  for (size_t i = 0; i < n; ++i) dot += a.w_[i] * b.w_[i];
+  const double na = std::sqrt(a.L2NormSquared());
+  const double nb = std::sqrt(b.L2NormSquared());
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (na * nb);
+}
+
+SparseVector WeightVector::ToSparse(double eps) const {
+  std::vector<SparseVector::Entry> entries;
+  for (size_t i = 0; i < w_.size(); ++i) {
+    if (std::fabs(w_[i]) > eps) {
+      entries.emplace_back(static_cast<uint32_t>(i),
+                           static_cast<float>(w_[i]));
+    }
+  }
+  return SparseVector::FromUnsorted(std::move(entries));
+}
+
+}  // namespace ie

@@ -1,0 +1,116 @@
+// Sparse feature vectors. Documents are featurized once into an immutable,
+// index-sorted SparseVector; learned models keep a dense, growable
+// WeightVector (the feature space expands as extraction progresses).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ie {
+
+/// Immutable-ish sparse vector: (feature id, value) pairs sorted by id.
+class SparseVector {
+ public:
+  using Entry = std::pair<uint32_t, float>;
+
+  SparseVector() = default;
+  /// Builds from possibly unsorted, possibly duplicated entries; duplicates
+  /// are summed, zero values dropped.
+  static SparseVector FromUnsorted(std::vector<Entry> entries);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+  /// Value at feature id (0 if absent). O(log n).
+  float Get(uint32_t id) const;
+
+  double L2NormSquared() const;
+  double L2Norm() const;
+  double L1Norm() const;
+
+  /// Largest feature id + 1; 0 when empty.
+  uint32_t DimensionBound() const {
+    return entries_.empty() ? 0 : entries_.back().first + 1;
+  }
+
+  /// Scales all values in place.
+  void Scale(float factor);
+
+  /// ℓ2-normalizes in place (no-op on the zero vector).
+  void Normalize();
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Dot product of two sorted sparse vectors. O(n + m).
+double Dot(const SparseVector& a, const SparseVector& b);
+
+/// Cosine similarity; 0 when either vector is zero.
+double CosineSimilarity(const SparseVector& a, const SparseVector& b);
+
+/// Dense, growable weight vector used by the online learners. Indexing past
+/// the current size reads as 0; writes grow the vector.
+class WeightVector {
+ public:
+  WeightVector() = default;
+  explicit WeightVector(size_t dim) : w_(dim, 0.0) {}
+
+  double Get(uint32_t id) const {
+    return id < w_.size() ? w_[id] : 0.0;
+  }
+  void Set(uint32_t id, double value) {
+    EnsureSize(id + 1);
+    w_[id] = value;
+  }
+  void Add(uint32_t id, double delta) {
+    EnsureSize(id + 1);
+    w_[id] += delta;
+  }
+
+  size_t dimension() const { return w_.size(); }
+  const std::vector<double>& raw() const { return w_; }
+  std::vector<double>& raw() { return w_; }
+
+  /// w += factor * x.
+  void AddScaled(const SparseVector& x, double factor);
+
+  /// Multiplies every weight by factor (lazy-scaling callers may prefer
+  /// keeping an external scale; this is the eager version).
+  void Scale(double factor);
+
+  /// Dot product with a sparse vector.
+  double Dot(const SparseVector& x) const;
+
+  double L2NormSquared() const;
+  double L1Norm() const;
+
+  /// Number of non-zero weights (|w_i| > eps). The paper's in-training
+  /// feature selection is judged by this count.
+  size_t NonZeroCount(double eps = 1e-12) const;
+
+  /// Soft-threshold every weight toward zero by `amount` (ℓ1 proximal
+  /// step): w_i <- sign(w_i) * max(0, |w_i| - amount).
+  void SoftThreshold(double amount);
+
+  /// Cosine similarity between two weight vectors (0 if either is zero).
+  static double Cosine(const WeightVector& a, const WeightVector& b);
+
+  /// Sparse snapshot of the non-zero weights.
+  SparseVector ToSparse(double eps = 1e-12) const;
+
+ private:
+  void EnsureSize(size_t n) {
+    if (w_.size() < n) w_.resize(n, 0.0);
+  }
+
+  std::vector<double> w_;
+};
+
+}  // namespace ie

@@ -1,0 +1,96 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace ie {
+
+namespace {
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+}  // namespace
+
+std::vector<std::string> TokenizeWords(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (IsWordChar(c)) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if ((c == '\'' || c == '-') && !current.empty() &&
+               i + 1 < text.size() && IsWordChar(text[i + 1])) {
+      current.push_back(c);
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> SplitSentences(std::string_view text) {
+  std::vector<std::string> sentences;
+  size_t start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c != '.' && c != '!' && c != '?') continue;
+    // End of sentence only if followed by whitespace or end of text.
+    const bool at_end = (i + 1 == text.size()) ||
+                        std::isspace(static_cast<unsigned char>(text[i + 1]));
+    if (!at_end) continue;
+    // Heuristic: a period after a single letter ("u.s.", middle initials)
+    // does not end a sentence.
+    if (c == '.' && i >= 1 && IsWordChar(text[i - 1]) &&
+        (i < 2 || !IsWordChar(text[i - 2]))) {
+      continue;
+    }
+    const std::string_view piece = text.substr(start, i + 1 - start);
+    // Skip pure-whitespace pieces.
+    bool has_word = false;
+    for (char pc : piece) {
+      if (IsWordChar(pc)) {
+        has_word = true;
+        break;
+      }
+    }
+    if (has_word) sentences.emplace_back(piece);
+    start = i + 1;
+  }
+  if (start < text.size()) {
+    const std::string_view piece = text.substr(start);
+    for (char pc : piece) {
+      if (IsWordChar(pc)) {
+        sentences.emplace_back(piece);
+        break;
+      }
+    }
+  }
+  return sentences;
+}
+
+Document TextToDocument(DocId id, std::string_view text, Vocabulary& vocab) {
+  Document doc;
+  doc.id = id;
+  for (const std::string& sentence_text : SplitSentences(text)) {
+    Sentence sentence;
+    for (const std::string& token : TokenizeWords(sentence_text)) {
+      sentence.tokens.push_back(vocab.Intern(token));
+    }
+    if (!sentence.tokens.empty()) doc.sentences.push_back(std::move(sentence));
+  }
+  return doc;
+}
+
+std::string SentenceToString(const Sentence& sentence,
+                             const Vocabulary& vocab) {
+  std::string out;
+  for (size_t i = 0; i < sentence.tokens.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += vocab.Term(sentence.tokens[i]);
+  }
+  return out;
+}
+
+}  // namespace ie

@@ -1,0 +1,28 @@
+// Text ingestion: lowercasing word tokenizer and rule-based sentence
+// splitter, used by the examples and by tests that build documents from raw
+// prose (the synthetic corpus generator emits token ids directly).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/document.h"
+#include "text/vocabulary.h"
+
+namespace ie {
+
+/// Splits text into lowercase word tokens. A token is a maximal run of
+/// alphanumeric characters; everything else is a separator, except that
+/// internal apostrophes and hyphens are kept ("o'brien", "man-made").
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+/// Splits raw text into sentence strings on '.', '!', '?' followed by
+/// whitespace/end, keeping abbreviations like "u.s." intact heuristically
+/// (a single-letter prefix before the period does not end a sentence).
+std::vector<std::string> SplitSentences(std::string_view text);
+
+/// Full ingestion: sentence-split, tokenize, and intern into `vocab`.
+Document TextToDocument(DocId id, std::string_view text, Vocabulary& vocab);
+
+}  // namespace ie

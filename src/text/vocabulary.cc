@@ -1,0 +1,19 @@
+#include "text/vocabulary.h"
+
+namespace ie {
+
+uint32_t Vocabulary::Intern(std::string_view term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+uint32_t Vocabulary::Lookup(std::string_view term) const {
+  auto it = index_.find(term);
+  return it == index_.end() ? kInvalidId : it->second;
+}
+
+}  // namespace ie

@@ -1,0 +1,53 @@
+// String interning: maps terms (words, phrases, tuple-attribute features)
+// to dense uint32 ids. A single Vocabulary is shared across the corpus, the
+// featurizer, and the learners, so the feature space can grow while ids
+// remain stable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ie {
+
+class Vocabulary {
+ public:
+  static constexpr uint32_t kInvalidId = 0xffffffffu;
+
+  /// Interns the term, returning its id (existing or freshly assigned).
+  uint32_t Intern(std::string_view term);
+
+  /// Id of the term, or kInvalidId when absent. Does not modify the vocab.
+  uint32_t Lookup(std::string_view term) const;
+
+  bool Contains(std::string_view term) const {
+    return Lookup(term) != kInvalidId;
+  }
+
+  /// Term for an id; id must be < size().
+  const std::string& Term(uint32_t id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  // Transparent hashing so lookups take string_view without allocating.
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::unordered_map<std::string, uint32_t, Hash, Eq> index_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace ie

@@ -1,0 +1,101 @@
+#include "update/update_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ie {
+
+void TopKDetector::OnModelUpdated(
+    const DocumentRanker& ranker,
+    const std::vector<LabeledExample>& absorbed) {
+  (void)ranker;
+  // The side classifier keeps learning across updates; absorbed documents
+  // were already fed through Observe. Snapshot the reference feature set.
+  (void)absorbed;
+  reference_topk_ = TopKFeatures(side_.DenseWeights(), options_.k);
+  since_check_ = 0;
+}
+
+bool TopKDetector::Observe(const SparseVector& features, bool useful,
+                           const DocumentRanker& ranker) {
+  (void)ranker;
+  side_.Update(features, useful ? 1 : -1);
+  if (++since_check_ < options_.check_interval) return false;
+  since_check_ = 0;
+  const std::vector<WeightedFeature> current =
+      TopKFeatures(side_.DenseWeights(), options_.k);
+  last_distance_ = GeneralizedFootrule(reference_topk_, current);
+  return last_distance_ > options_.tau;
+}
+
+void ModCDetector::OnModelUpdated(
+    const DocumentRanker& ranker,
+    const std::vector<LabeledExample>& absorbed) {
+  (void)absorbed;
+  shadow_ = ranker.Clone();
+  frozen_weights_ = ranker.ModelWeights();
+  last_angle_ = 0.0;
+}
+
+bool ModCDetector::Observe(const SparseVector& features, bool useful,
+                           const DocumentRanker& ranker) {
+  (void)ranker;
+  if (shadow_ == nullptr) return false;
+  if (!rng_.NextBool(options_.rho)) return false;
+  shadow_->Observe(features, useful);
+  const WeightVector shadow_weights = shadow_->ModelWeights();
+  const double cosine = WeightVector::Cosine(shadow_weights,
+                                             frozen_weights_);
+  last_angle_ =
+      std::acos(std::clamp(cosine, -1.0, 1.0)) * 180.0 / M_PI;
+  return last_angle_ > options_.alpha_degrees;
+}
+
+void FeatSDetector::OnModelUpdated(
+    const DocumentRanker& ranker,
+    const std::vector<LabeledExample>& absorbed) {
+  (void)ranker;
+  // The documents the model was (re)trained on define the "training
+  // distribution" the one-class SVM models.
+  for (const LabeledExample& ex : absorbed) {
+    svm_.Observe(ex.features);
+  }
+  // Recalibrate the inlier margin to a quantile of the training decisions,
+  // so S ~ (1 - quantile) on in-distribution data regardless of kernel
+  // scale.
+  if (!absorbed.empty()) {
+    std::vector<double> decisions;
+    decisions.reserve(absorbed.size());
+    for (const LabeledExample& ex : absorbed) {
+      decisions.push_back(svm_.Decision(ex.features));
+    }
+    std::sort(decisions.begin(), decisions.end());
+    const size_t idx = static_cast<size_t>(
+        options_.margin_quantile *
+        static_cast<double>(decisions.size() - 1));
+    margin_ = decisions[idx];
+  }
+  recent_inlier_.clear();
+  since_check_ = 0;
+}
+
+bool FeatSDetector::Observe(const SparseVector& features, bool useful,
+                            const DocumentRanker& ranker) {
+  (void)useful;
+  (void)ranker;
+  recent_inlier_.push_back(svm_.IsInlier(features, margin_) ? 1 : 0);
+  if (recent_inlier_.size() > options_.window) {
+    recent_inlier_.erase(recent_inlier_.begin());
+  }
+  if (++since_check_ < options_.min_docs_between_checks) return false;
+  since_check_ = 0;
+  if (recent_inlier_.empty()) return false;
+  size_t inliers = 0;
+  for (uint8_t b : recent_inlier_) inliers += b;
+  const double s = static_cast<double>(inliers) /
+                   static_cast<double>(recent_inlier_.size());
+  last_shift_ = 1.0 - s;
+  return last_shift_ > options_.threshold;
+}
+
+}  // namespace ie

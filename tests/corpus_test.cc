@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "corpus/generator.h"
+#include "corpus/lexicon.h"
+#include "corpus/relation.h"
+#include "test_util.h"
+
+namespace ie {
+namespace {
+
+// ---- Relation registry -------------------------------------------------
+
+TEST(RelationTest, SevenRelations) {
+  EXPECT_EQ(AllRelations().size(), kNumRelations);
+}
+
+TEST(RelationTest, CodesUniqueAndLookupWorks) {
+  std::set<std::string> codes;
+  for (const RelationSpec& spec : AllRelations()) {
+    EXPECT_TRUE(codes.insert(spec.code).second) << spec.code;
+    const RelationSpec* found = FindRelationByCode(spec.code);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->id, spec.id);
+  }
+  EXPECT_EQ(FindRelationByCode("XX"), nullptr);
+}
+
+TEST(RelationTest, DensitiesMatchPaperTable1) {
+  EXPECT_NEAR(GetRelation(RelationId::kPersonOrganization).paper_density,
+              0.1695, 1e-9);
+  EXPECT_NEAR(GetRelation(RelationId::kDiseaseOutbreak).paper_density,
+              0.0008, 1e-9);
+  EXPECT_NEAR(GetRelation(RelationId::kPersonCareer).paper_density, 0.4216,
+              1e-9);
+  EXPECT_NEAR(GetRelation(RelationId::kElectionWinner).paper_density,
+              0.0050, 1e-9);
+}
+
+TEST(RelationTest, CostModelPreservesPaperSpeedContrast) {
+  // The paper: ND ~6 s/doc (slow), PO ~0.01 s/doc (fast).
+  EXPECT_DOUBLE_EQ(
+      GetRelation(RelationId::kNaturalDisaster).extraction_cost_seconds,
+      6.0);
+  EXPECT_DOUBLE_EQ(
+      GetRelation(RelationId::kPersonOrganization).extraction_cost_seconds,
+      0.01);
+}
+
+TEST(RelationTest, DenseFlagsMatchPaper) {
+  EXPECT_TRUE(GetRelation(RelationId::kPersonCareer).dense);
+  EXPECT_TRUE(GetRelation(RelationId::kPersonOrganization).dense);
+  EXPECT_FALSE(GetRelation(RelationId::kNaturalDisaster).dense);
+}
+
+TEST(RelationTest, EntityTypeNames) {
+  EXPECT_STREQ(EntityTypeName(EntityType::kPerson), "Person");
+  EXPECT_STREQ(EntityTypeName(EntityType::kTemporal), "Temporal");
+}
+
+// ---- Lexicon invariants --------------------------------------------------
+
+TEST(LexiconTest, EveryRelationHasSubtopicsAndTriggers) {
+  const Lexicon& lex = GetLexicon();
+  for (const RelationSpec& spec : AllRelations()) {
+    const size_t rel = static_cast<size_t>(spec.id);
+    EXPECT_FALSE(lex.subtopics[rel].empty()) << spec.code;
+    EXPECT_FALSE(lex.triggers[rel].empty()) << spec.code;
+    for (const auto& st : lex.subtopics[rel]) {
+      EXPECT_FALSE(st.entity_terms.empty()) << spec.code << "/" << st.name;
+      EXPECT_FALSE(st.flavor_words.empty()) << spec.code << "/" << st.name;
+      EXPECT_GT(st.prevalence, 0.0);
+    }
+  }
+}
+
+TEST(LexiconTest, SubtopicPrevalenceSkewed) {
+  // ND subtopics must include a rare one (the paper's volcano example).
+  const Lexicon& lex = GetLexicon();
+  const auto& nd =
+      lex.subtopics[static_cast<size_t>(RelationId::kNaturalDisaster)];
+  double lo = 1.0, hi = 0.0;
+  for (const auto& st : nd) {
+    lo = std::min(lo, st.prevalence);
+    hi = std::max(hi, st.prevalence);
+  }
+  EXPECT_GE(hi / lo, 5.0);
+}
+
+TEST(LexiconTest, DiseaseSubtopicTermsAreKnownDiseases) {
+  const Lexicon& lex = GetLexicon();
+  const std::set<std::string> diseases(lex.diseases.begin(),
+                                       lex.diseases.end());
+  for (const auto& st :
+       lex.subtopics[static_cast<size_t>(RelationId::kDiseaseOutbreak)]) {
+    for (const auto& term : st.entity_terms) {
+      EXPECT_TRUE(diseases.count(term) > 0) << term;
+    }
+  }
+}
+
+TEST(LexiconTest, ChargeSubtopicTermsAreKnownCharges) {
+  const Lexicon& lex = GetLexicon();
+  const std::set<std::string> charges(lex.charges.begin(),
+                                      lex.charges.end());
+  for (const auto& st :
+       lex.subtopics[static_cast<size_t>(RelationId::kPersonCharge)]) {
+    for (const auto& term : st.entity_terms) {
+      EXPECT_TRUE(charges.count(term) > 0) << term;
+    }
+  }
+}
+
+TEST(LexiconTest, VolcanoSubtopicCarriesPaperFlavor) {
+  // The motivating example: "lava", "sulfuric" only reachable through the
+  // rare volcano subtopic.
+  const Lexicon& lex = GetLexicon();
+  const auto& nd =
+      lex.subtopics[static_cast<size_t>(RelationId::kNaturalDisaster)];
+  bool found = false;
+  for (const auto& st : nd) {
+    if (st.name != "volcano") continue;
+    found = true;
+    EXPECT_NE(std::find(st.flavor_words.begin(), st.flavor_words.end(),
+                        "lava"),
+              st.flavor_words.end());
+    EXPECT_LT(st.prevalence, 0.1);
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---- Generator -----------------------------------------------------------
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorOptions options;
+  options.num_documents = 200;
+  options.seed = 99;
+  const Corpus a = GenerateCorpus(options);
+  const Corpus b = GenerateCorpus(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (DocId id = 0; id < a.size(); ++id) {
+    ASSERT_EQ(a.doc(id).sentences.size(), b.doc(id).sentences.size());
+    for (size_t s = 0; s < a.doc(id).sentences.size(); ++s) {
+      EXPECT_EQ(a.doc(id).sentences[s].tokens,
+                b.doc(id).sentences[s].tokens);
+    }
+    EXPECT_EQ(a.annotations(id).tuples.size(),
+              b.annotations(id).tuples.size());
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorOptions options;
+  options.num_documents = 50;
+  options.seed = 1;
+  const Corpus a = GenerateCorpus(options);
+  options.seed = 2;
+  const Corpus b = GenerateCorpus(options);
+  size_t differing = 0;
+  for (DocId id = 0; id < 50; ++id) {
+    if (a.doc(id).TokenCount() != b.doc(id).TokenCount()) ++differing;
+  }
+  EXPECT_GT(differing, 10u);
+}
+
+TEST(GeneratorTest, SplitsPartitionCorpus) {
+  const Corpus& corpus = test::SharedCorpus();
+  const CorpusSplits& splits = corpus.splits();
+  std::unordered_set<DocId> seen;
+  for (const auto* split : {&splits.train, &splits.dev, &splits.test}) {
+    for (DocId id : *split) {
+      EXPECT_LT(id, corpus.size());
+      EXPECT_TRUE(seen.insert(id).second) << "doc in two splits: " << id;
+    }
+  }
+  EXPECT_EQ(seen.size(), corpus.size());
+}
+
+TEST(GeneratorTest, SplitProportionsMatchOptions) {
+  const Corpus& corpus = test::SharedCorpus();
+  EXPECT_NEAR(
+      static_cast<double>(corpus.splits().train.size()) / corpus.size(),
+      0.054, 0.01);
+  EXPECT_NEAR(
+      static_cast<double>(corpus.splits().dev.size()) / corpus.size(),
+      0.373, 0.01);
+}
+
+TEST(GeneratorTest, MentionSpansAreValid) {
+  const Corpus& corpus = test::SharedCorpus();
+  for (DocId id = 0; id < corpus.size(); id += 7) {
+    const Document& doc = corpus.doc(id);
+    for (const EntityMention& m : corpus.annotations(id).mentions) {
+      ASSERT_LT(m.sentence, doc.sentences.size());
+      ASSERT_LT(m.begin, m.end);
+      ASSERT_LE(m.end, doc.sentences[m.sentence].size());
+      EXPECT_NE(m.type, EntityType::kNone);
+      EXPECT_FALSE(m.value.empty());
+    }
+  }
+}
+
+TEST(GeneratorTest, MentionValuesMatchSpanTokens) {
+  const Corpus& corpus = test::SharedCorpus();
+  size_t checked = 0;
+  for (DocId id = 0; id < corpus.size() && checked < 500; id += 3) {
+    const Document& doc = corpus.doc(id);
+    for (const EntityMention& m : corpus.annotations(id).mentions) {
+      std::string joined;
+      for (uint32_t i = m.begin; i < m.end; ++i) {
+        if (i > m.begin) joined.push_back(' ');
+        joined += corpus.vocab().Term(doc.sentences[m.sentence].tokens[i]);
+      }
+      EXPECT_EQ(joined, m.value);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(GeneratorTest, GoldTuplesHaveMatchingMentions) {
+  const Corpus& corpus = test::SharedCorpus();
+  for (DocId id = 0; id < corpus.size(); id += 5) {
+    const DocAnnotations& ann = corpus.annotations(id);
+    for (const GoldTuple& t : ann.tuples) {
+      const RelationSpec& spec = GetRelation(t.relation);
+      bool a1 = false, a2 = false;
+      for (const EntityMention& m : ann.mentions) {
+        if (m.sentence != t.sentence) continue;
+        a1 |= m.type == spec.attr1 && m.value == t.attr1;
+        a2 |= m.type == spec.attr2 && m.value == t.attr2;
+      }
+      EXPECT_TRUE(a1) << spec.code << " " << t.attr1;
+      EXPECT_TRUE(a2) << spec.code << " " << t.attr2;
+    }
+  }
+}
+
+// Gold density should approximate Table 1 for every relation
+// (property-style check across the whole registry).
+class GoldDensityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GoldDensityTest, ApproximatesPaperDensity) {
+  const RelationSpec& spec = AllRelations()[GetParam()];
+  const Corpus& corpus = test::SharedCorpus();
+  std::vector<DocId> all(corpus.size());
+  for (DocId id = 0; id < corpus.size(); ++id) all[id] = id;
+  const double density =
+      static_cast<double>(corpus.CountGoldUseful(spec.id, all)) /
+      static_cast<double>(corpus.size());
+  // Generous tolerance: 3000 docs is small for the sparsest relations.
+  EXPECT_LT(density, spec.paper_density * 2.5 + 0.004) << spec.code;
+  EXPECT_GT(density, spec.paper_density * 0.3 - 0.001) << spec.code;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRelations, GoldDensityTest,
+                         ::testing::Range<size_t>(0, kNumRelations));
+
+TEST(GeneratorTest, SharedVocabularyIsReused) {
+  GeneratorOptions options;
+  options.num_documents = 50;
+  options.seed = 5;
+  Corpus first = GenerateCorpus(options);
+  const size_t vocab_size = first.vocab().size();
+  GeneratorOptions aux;
+  aux.num_documents = 50;
+  aux.seed = 6;
+  aux.shared_vocab = first.shared_vocab();
+  const Corpus second = GenerateCorpus(aux);
+  EXPECT_EQ(&second.vocab(), &first.vocab());
+  EXPECT_GE(first.vocab().size(), vocab_size);  // may grow, never resets
+}
+
+TEST(GeneratorTest, ExtractorTrainingPresetIsDense) {
+  GeneratorOptions options = GeneratorOptions::ForExtractorTraining(
+      RelationId::kElectionWinner, 400, 9);
+  const Corpus corpus = GenerateCorpus(options);
+  EXPECT_EQ(corpus.splits().train.size(), corpus.size());
+  const size_t useful =
+      corpus.CountGoldUseful(RelationId::kElectionWinner,
+                             corpus.splits().train);
+  // The preset anchors ~35% of documents to the target relation.
+  EXPECT_GT(static_cast<double>(useful) / corpus.size(), 0.15);
+}
+
+TEST(GeneratorTest, DocumentShapeWithinBounds) {
+  const Corpus& corpus = test::SharedCorpus();
+  for (DocId id = 0; id < corpus.size(); id += 11) {
+    const Document& doc = corpus.doc(id);
+    EXPECT_GE(doc.sentences.size(), 8u);
+    // Base sentences plus up to a handful of planted ones.
+    EXPECT_LE(doc.sentences.size(), 40u);
+    for (const Sentence& s : doc.sentences) EXPECT_FALSE(s.tokens.empty());
+  }
+}
+
+TEST(CorpusTest, AddAssignsIds) {
+  Corpus corpus;
+  Document doc;
+  doc.sentences.push_back({{corpus.vocab().Intern("x")}});
+  const DocId id = corpus.Add(std::move(doc), {});
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(corpus.doc(0).id, 0u);
+  EXPECT_EQ(corpus.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ie

@@ -1,0 +1,127 @@
+#include "index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace ie {
+namespace {
+
+class IndexTest : public ::testing::Test {
+ protected:
+  void Add(DocId id, const std::string& text) {
+    ASSERT_TRUE(index_.Add(TextToDocument(id, text, vocab_)).ok());
+  }
+  std::vector<TokenId> Terms(const std::string& words) {
+    std::vector<TokenId> ids;
+    for (const auto& w : TokenizeWords(words)) ids.push_back(vocab_.Intern(w));
+    return ids;
+  }
+
+  Vocabulary vocab_;
+  InvertedIndex index_;
+};
+
+TEST_F(IndexTest, EmptyIndexReturnsNothing) {
+  EXPECT_TRUE(index_.Search(Terms("anything"), 10).empty());
+}
+
+TEST_F(IndexTest, DocFreqCountsDocuments) {
+  Add(0, "storm at sea. storm again.");
+  Add(1, "calm sea.");
+  EXPECT_EQ(index_.DocFreq(vocab_.Lookup("storm")), 1u);
+  EXPECT_EQ(index_.DocFreq(vocab_.Lookup("sea")), 2u);
+  EXPECT_EQ(index_.DocFreq(999999), 0u);
+}
+
+TEST_F(IndexTest, DuplicateAddRejected) {
+  Add(0, "a.");
+  EXPECT_TRUE(
+      index_.Add(TextToDocument(0, "b.", vocab_)).IsInvalidArgument());
+}
+
+TEST_F(IndexTest, SingleTermRetrieval) {
+  Add(0, "earthquake in tokyo.");
+  Add(1, "election in oslo.");
+  const auto hits = index_.Search(Terms("earthquake"), 10);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc, 0u);
+  EXPECT_GT(hits[0].score, 0.0f);
+}
+
+TEST_F(IndexTest, TermFrequencyBoostsScore) {
+  Add(0, "storm storm storm hit the coast today with heavy rain falling.");
+  Add(1, "storm was mentioned once in this otherwise unrelated report.");
+  const auto hits = index_.Search(Terms("storm"), 10);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].doc, 0u);
+  EXPECT_GT(hits[0].score, hits[1].score);
+}
+
+TEST_F(IndexTest, RareTermsScoreHigherThanCommon) {
+  for (DocId id = 0; id < 20; ++id) {
+    Add(id, "common words fill this entire document body completely.");
+  }
+  Add(20, "common words plus the rare volcano mention here today now.");
+  const auto common_hits = index_.Search(Terms("common"), 25);
+  const auto rare_hits = index_.Search(Terms("volcano"), 25);
+  ASSERT_FALSE(common_hits.empty());
+  ASSERT_EQ(rare_hits.size(), 1u);
+  // idf: the rare term contributes a larger score.
+  EXPECT_GT(rare_hits[0].score, common_hits[0].score);
+}
+
+TEST_F(IndexTest, DisjunctiveMultiTermAccumulates) {
+  Add(0, "lava flowed from the volcano.");
+  Add(1, "lava only here.");
+  Add(2, "volcano only here.");
+  const auto hits = index_.Search(Terms("lava volcano"), 10);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].doc, 0u);  // matches both query terms
+}
+
+TEST_F(IndexTest, TopKLimitsResults) {
+  for (DocId id = 0; id < 30; ++id) Add(id, "shared token body.");
+  EXPECT_EQ(index_.Search(Terms("shared"), 5).size(), 5u);
+  EXPECT_EQ(index_.Search(Terms("shared"), 0).size(), 0u);
+}
+
+TEST_F(IndexTest, TieBreakByDocIdIsDeterministic) {
+  Add(3, "tied token here now.");
+  Add(1, "tied token here now.");
+  Add(2, "tied token here now.");
+  const auto hits = index_.Search(Terms("tied"), 10);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].doc, 1u);
+  EXPECT_EQ(hits[1].doc, 2u);
+  EXPECT_EQ(hits[2].doc, 3u);
+}
+
+TEST_F(IndexTest, UnknownQueryTermsIgnored) {
+  Add(0, "known words here.");
+  const auto hits = index_.SearchText("known nonexistentzz", vocab_, 5);
+  ASSERT_EQ(hits.size(), 1u);
+}
+
+TEST_F(IndexTest, SearchTextAllUnknown) {
+  Add(0, "text.");
+  EXPECT_TRUE(index_.SearchText("zzz yyy", vocab_, 5).empty());
+}
+
+TEST_F(IndexTest, ShorterDocumentWinsAtEqualTf) {
+  Add(0, "needle plus many many many other words in a long document body.");
+  Add(1, "needle short.");
+  const auto hits = index_.Search(Terms("needle"), 10);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].doc, 1u);  // BM25 length normalization
+}
+
+TEST_F(IndexTest, NumDocsAndPostings) {
+  Add(0, "a b.");
+  Add(1, "a.");
+  EXPECT_EQ(index_.NumDocs(), 2u);
+  EXPECT_EQ(index_.NumPostings(), 3u);  // (a,0),(b,0),(a,1)
+}
+
+}  // namespace
+}  // namespace ie

@@ -1,0 +1,157 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/experiment.h"
+
+namespace ie {
+namespace {
+
+TEST(RecallCurveTest, PerfectOrderFrontLoads) {
+  // 3 useful docs first, then 7 useless.
+  const std::vector<uint8_t> order = {1, 1, 1, 0, 0, 0, 0, 0, 0, 0};
+  const auto curve = RecallCurve(order, 3, 10);
+  ASSERT_EQ(curve.size(), 11u);
+  EXPECT_DOUBLE_EQ(curve[0], 0.0);
+  EXPECT_DOUBLE_EQ(curve[3], 1.0);  // after 30% processed
+  EXPECT_DOUBLE_EQ(curve[10], 1.0);
+}
+
+TEST(RecallCurveTest, UniformOrderIsLinearish) {
+  std::vector<uint8_t> order;
+  for (int i = 0; i < 100; ++i) order.push_back(i % 10 == 0 ? 1 : 0);
+  const auto curve = RecallCurve(order, 10, 10);
+  EXPECT_NEAR(curve[5], 0.5, 0.1);
+}
+
+TEST(RecallCurveTest, EmptyInputsGiveZeroCurve) {
+  const auto curve = RecallCurve({}, 5, 10);
+  for (double r : curve) EXPECT_DOUBLE_EQ(r, 0.0);
+  const auto curve2 = RecallCurve({1, 0}, 0, 10);
+  for (double r : curve2) EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(RecallCurveTest, DenominatorBeyondProcessedCapsBelowOne) {
+  const std::vector<uint8_t> order = {1, 1};
+  const auto curve = RecallCurve(order, 4, 10);
+  EXPECT_DOUBLE_EQ(curve[10], 0.5);
+}
+
+TEST(AveragePrecisionTest, PerfectOrderIsOne) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({1, 1, 1, 0, 0}, 3), 1.0);
+}
+
+TEST(AveragePrecisionTest, WorstOrder) {
+  // Useful docs at ranks 4 and 5: AP = (1/4 + 2/5)/2.
+  EXPECT_NEAR(AveragePrecision({0, 0, 0, 1, 1}, 2), (0.25 + 0.4) / 2.0,
+              1e-12);
+}
+
+TEST(AveragePrecisionTest, MissingUsefulCountsAsMiss) {
+  // Only 1 of the 2 useful docs was ever processed.
+  EXPECT_NEAR(AveragePrecision({1, 0}, 2), 0.5, 1e-12);
+}
+
+TEST(AveragePrecisionTest, ZeroUsefulIsZero) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({0, 0}, 0), 0.0);
+}
+
+TEST(RocAucTest, PerfectOrderIsOne) {
+  EXPECT_DOUBLE_EQ(RocAuc({1, 1, 0, 0, 0}), 1.0);
+}
+
+TEST(RocAucTest, ReversedOrderIsZero) {
+  EXPECT_DOUBLE_EQ(RocAuc({0, 0, 0, 1, 1}), 0.0);
+}
+
+TEST(RocAucTest, AlternatingNearHalf) {
+  std::vector<uint8_t> order;
+  for (int i = 0; i < 1000; ++i) order.push_back(i % 2);
+  EXPECT_NEAR(RocAuc(order), 0.5, 0.01);
+}
+
+TEST(RocAucTest, RandomOrderNearHalf) {
+  Rng rng(3);
+  std::vector<uint8_t> order;
+  for (int i = 0; i < 5000; ++i) order.push_back(rng.NextBool(0.1) ? 1 : 0);
+  EXPECT_NEAR(RocAuc(order), 0.5, 0.05);
+}
+
+TEST(RocAucTest, DegenerateClassesGiveHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({1, 1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({}), 0.5);
+}
+
+TEST(RocAucTest, ExactSmallCase) {
+  // Order: 1 0 1 0. Pairs: (p1 before both n) + (p2 before n2) = 3 of 4.
+  EXPECT_DOUBLE_EQ(RocAuc({1, 0, 1, 0}), 0.75);
+}
+
+TEST(RecallAtTest, CountsPrefix) {
+  const std::vector<uint8_t> order = {1, 0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(RecallAt(order, 3, 0), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAt(order, 3, 1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAt(order, 3, 5), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAt(order, 3, 99), 1.0);
+}
+
+TEST(DocsToReachRecallTest, FindsMinimalPrefix) {
+  const std::vector<uint8_t> order = {0, 1, 0, 1, 1};
+  EXPECT_EQ(DocsToReachRecall(order, 3, 1.0 / 3.0), 2u);
+  EXPECT_EQ(DocsToReachRecall(order, 3, 2.0 / 3.0), 4u);
+  EXPECT_EQ(DocsToReachRecall(order, 3, 1.0), 5u);
+}
+
+TEST(DocsToReachRecallTest, UnreachableReturnsSizePlusOne) {
+  EXPECT_EQ(DocsToReachRecall({0, 1}, 3, 1.0), 3u);
+}
+
+// ---- EvaluateRun / RunExperiment ----------------------------------------
+
+PipelineResult FakeResult(std::vector<uint8_t> useful, size_t warmup,
+                          size_t pool_useful) {
+  PipelineResult result;
+  result.processed_useful = std::move(useful);
+  result.processing_order.resize(result.processed_useful.size());
+  result.warmup_documents = warmup;
+  result.pool_size = result.processed_useful.size();
+  result.pool_useful = pool_useful;
+  result.extraction_seconds = 10.0;
+  return result;
+}
+
+TEST(EvaluateRunTest, ExcludesWarmupByDefault) {
+  // Warmup consumed 1 useful doc; the ranked suffix is perfect.
+  const RunMetrics metrics =
+      EvaluateRun(FakeResult({1, 0, 1, 1, 0, 0}, 2, 3));
+  EXPECT_DOUBLE_EQ(metrics.average_precision, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.auc, 1.0);
+}
+
+TEST(EvaluateRunTest, IncludeWarmupCountsEverything) {
+  const RunMetrics metrics =
+      EvaluateRun(FakeResult({1, 0, 1, 1, 0, 0}, 2, 3), true);
+  EXPECT_LT(metrics.average_precision, 1.0);
+}
+
+TEST(RunExperimentTest, AggregatesAcrossSeeds) {
+  const AggregateMetrics agg = RunExperiment("x", 4, [](size_t seed) {
+    // Alternate perfect and reversed orders.
+    return FakeResult(seed % 2 == 0
+                          ? std::vector<uint8_t>{1, 1, 0, 0}
+                          : std::vector<uint8_t>{0, 0, 1, 1},
+                      0, 2);
+  });
+  EXPECT_EQ(agg.runs, 4u);
+  EXPECT_NEAR(agg.auc_mean, 0.5, 1e-12);
+  EXPECT_GT(agg.auc_std, 0.4);
+  EXPECT_DOUBLE_EQ(agg.extraction_seconds_mean, 10.0);
+  ASSERT_FALSE(agg.mean_recall_curve.empty());
+  EXPECT_NEAR(agg.mean_recall_curve.back(), 1.0, 1e-12);
+  EXPECT_NEAR(agg.mean_recall_curve[50], 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace ie

@@ -1,0 +1,303 @@
+#include "extract/ner.h"
+
+#include <gtest/gtest.h>
+
+#include "extract/crf_ner.h"
+#include "extract/hmm_ner.h"
+#include "extract/memm_ner.h"
+#include "extract/sequence_tagger.h"
+#include "test_util.h"
+#include "text/tokenizer.h"
+
+namespace ie {
+namespace {
+
+class RuleNerTest : public ::testing::Test {
+ protected:
+  Document Doc(const std::string& text) {
+    return TextToDocument(0, text, vocab_);
+  }
+  Vocabulary vocab_;
+};
+
+// ---- GazetteerNer ---------------------------------------------------------
+
+TEST_F(RuleNerTest, GazetteerFindsSingleToken) {
+  GazetteerNer ner(EntityType::kDisease, {"cholera", "malaria"}, &vocab_);
+  const auto mentions = ner.Recognize(Doc("an outbreak of cholera struck."));
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].value, "cholera");
+  EXPECT_EQ(mentions[0].type, EntityType::kDisease);
+  EXPECT_EQ(mentions[0].begin, 3u);
+  EXPECT_EQ(mentions[0].end, 4u);
+}
+
+TEST_F(RuleNerTest, GazetteerLongestMatchWins) {
+  GazetteerNer ner(EntityType::kNaturalDisaster,
+                   {"storm", "tropical storm"}, &vocab_);
+  const auto mentions = ner.Recognize(Doc("a tropical storm formed."));
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].value, "tropical storm");
+}
+
+TEST_F(RuleNerTest, GazetteerFindsMultipleMentions) {
+  GazetteerNer ner(EntityType::kDisease, {"cholera"}, &vocab_);
+  const auto mentions =
+      ner.Recognize(Doc("cholera here. more cholera there."));
+  EXPECT_EQ(mentions.size(), 2u);
+  EXPECT_EQ(mentions[1].sentence, 1u);
+}
+
+TEST_F(RuleNerTest, GazetteerCoverageDropsEntries) {
+  std::vector<std::string> entries;
+  for (int i = 0; i < 200; ++i) entries.push_back("term" + std::to_string(i));
+  GazetteerNer full(EntityType::kDisease, entries, &vocab_, 1.0);
+  GazetteerNer partial(EntityType::kDisease, entries, &vocab_, 0.5, 3);
+  EXPECT_EQ(full.DictionarySize(), 200u);
+  EXPECT_LT(partial.DictionarySize(), 140u);
+  EXPECT_GT(partial.DictionarySize(), 60u);
+}
+
+TEST_F(RuleNerTest, GazetteerNoMatchesInUnrelatedText) {
+  GazetteerNer ner(EntityType::kDisease, {"cholera"}, &vocab_);
+  EXPECT_TRUE(ner.Recognize(Doc("nothing to see here.")).empty());
+}
+
+// ---- PatternNer -----------------------------------------------------------
+
+TEST_F(RuleNerTest, PatternMatchesStemSuffix) {
+  PatternNer ner({"corporation", "institute"}, &vocab_);
+  const auto mentions =
+      ner.Recognize(Doc("he joined acme corporation yesterday."));
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].value, "acme corporation");
+  EXPECT_EQ(mentions[0].type, EntityType::kOrganization);
+}
+
+TEST_F(RuleNerTest, PatternRejectsStopwordStems) {
+  PatternNer ner({"corporation"}, &vocab_);
+  EXPECT_TRUE(ner.Recognize(Doc("the corporation acted.")).empty());
+}
+
+TEST_F(RuleNerTest, PatternMatchesUniversityOf) {
+  PatternNer ner({"university"}, &vocab_);
+  const auto mentions = ner.Recognize(Doc("at the university of lisbon."));
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].value, "university of lisbon");
+}
+
+TEST_F(RuleNerTest, PatternRejectsDoubleSuffix) {
+  PatternNer ner({"corporation", "industries"}, &vocab_);
+  // "corporation industries" would match "<word> <suffix>" with a suffix
+  // stem; the stop rule rejects it.
+  EXPECT_TRUE(
+      ner.Recognize(Doc("the corporation industries merged.")).empty());
+}
+
+// ---- TemporalNer ------------------------------------------------------------
+
+TEST_F(RuleNerTest, TemporalMatchesMonthYear) {
+  TemporalNer ner(&vocab_);
+  const auto mentions = ner.Recognize(Doc("it began in march 1994 there."));
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].value, "march 1994");
+  EXPECT_EQ(mentions[0].type, EntityType::kTemporal);
+}
+
+TEST_F(RuleNerTest, TemporalRejectsBareMonthOrOddYear) {
+  TemporalNer ner(&vocab_);
+  EXPECT_TRUE(ner.Recognize(Doc("in march they left.")).empty());
+  EXPECT_TRUE(ner.Recognize(Doc("march 94 was cold.")).empty());
+  EXPECT_TRUE(ner.Recognize(Doc("march 99999 invalid.")).empty());
+}
+
+// ---- MergeMentions -----------------------------------------------------------
+
+TEST(MergeMentionsTest, DropsContainedSpans) {
+  std::vector<EntityMention> a = {
+      {0, 2, 3, EntityType::kNaturalDisaster, "storm"}};
+  std::vector<EntityMention> b = {
+      {0, 1, 3, EntityType::kNaturalDisaster, "tropical storm"}};
+  const auto merged = MergeMentions({a, b});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].value, "tropical storm");
+}
+
+TEST(MergeMentionsTest, KeepsDisjointSpans) {
+  std::vector<EntityMention> a = {{0, 0, 1, EntityType::kPerson, "x"}};
+  std::vector<EntityMention> b = {{0, 5, 6, EntityType::kLocation, "y"}};
+  EXPECT_EQ(MergeMentions({a, b}).size(), 2u);
+}
+
+TEST(MergeMentionsTest, DifferentSentencesNotMerged) {
+  std::vector<EntityMention> a = {{0, 0, 2, EntityType::kPerson, "x y"}};
+  std::vector<EntityMention> b = {{1, 0, 1, EntityType::kPerson, "x"}};
+  EXPECT_EQ(MergeMentions({a, b}).size(), 2u);
+}
+
+TEST(MergeMentionsTest, OutputSortedByPosition) {
+  std::vector<EntityMention> a = {{1, 4, 5, EntityType::kPerson, "b"},
+                                  {0, 2, 3, EntityType::kPerson, "a"}};
+  const auto merged = MergeMentions({a});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].sentence, 0u);
+  EXPECT_EQ(merged[1].sentence, 1u);
+}
+
+// ---- BIO helpers ---------------------------------------------------------
+
+TEST(DecodeBioTest, DecodesSpans) {
+  Vocabulary vocab;
+  Sentence s{{vocab.Intern("maria"), vocab.Intern("lopez"),
+              vocab.Intern("spoke")}};
+  const std::vector<uint8_t> labels = {kB, kI, kO};
+  const auto mentions = DecodeBio(s, labels, 0, EntityType::kPerson, vocab);
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].value, "maria lopez");
+}
+
+TEST(DecodeBioTest, OrphanInsideStartsMention) {
+  Vocabulary vocab;
+  Sentence s{{vocab.Intern("a"), vocab.Intern("b")}};
+  const std::vector<uint8_t> labels = {kO, kI};
+  const auto mentions = DecodeBio(s, labels, 0, EntityType::kPerson, vocab);
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].value, "b");
+}
+
+TEST(DecodeBioTest, AdjacentMentionsViaBB) {
+  Vocabulary vocab;
+  Sentence s{{vocab.Intern("a"), vocab.Intern("b")}};
+  const std::vector<uint8_t> labels = {kB, kB};
+  EXPECT_EQ(
+      DecodeBio(s, labels, 0, EntityType::kPerson, vocab).size(), 2u);
+}
+
+TEST(CollectTaggedSentencesTest, LabelsMatchAnnotations) {
+  const Corpus& corpus = test::SharedCorpus();
+  const auto data = CollectTaggedSentences(
+      corpus, corpus.splits().train, EntityType::kPerson, 0.1, 5);
+  ASSERT_FALSE(data.empty());
+  size_t b_labels = 0;
+  for (const TaggedSentence& ts : data) {
+    ASSERT_EQ(ts.labels.size(), ts.sentence->size());
+    for (uint8_t l : ts.labels) {
+      ASSERT_LE(l, kI);
+      b_labels += l == kB;
+    }
+  }
+  EXPECT_GT(b_labels, 0u);
+}
+
+// ---- Learned taggers ---------------------------------------------------
+// Trained the way the production factory trains them: on a dedicated
+// relation-dense generated corpus sharing the main corpus vocabulary (the
+// shared corpus train split is far too sparse for standalone training);
+// evaluated against the shared corpus dev split.
+
+const Corpus& TaggerTrainingCorpus() {
+  static const Corpus* corpus = [] {
+    GeneratorOptions options = GeneratorOptions::ForExtractorTraining(
+        RelationId::kNaturalDisaster, 900, 71);
+    options.shared_vocab = test::SharedCorpus().shared_vocab();
+    return new Corpus(GenerateCorpus(options));
+  }();
+  return *corpus;
+}
+
+std::vector<TaggedSentence> TaggerTrainingData(EntityType type) {
+  const Corpus& corpus = TaggerTrainingCorpus();
+  return CollectTaggedSentences(corpus, corpus.splits().train, type, 0.25,
+                                7);
+}
+
+struct TaggerQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+template <typename Ner>
+TaggerQuality EvaluateTagger(const Ner& ner, EntityType type) {
+  const Corpus& corpus = test::SharedCorpus();
+  size_t tp = 0, fp = 0, fn = 0;
+  const auto& dev = corpus.splits().dev;
+  for (size_t i = 0; i < 300 && i < dev.size(); ++i) {
+    const DocId id = dev[i];
+    const auto found = ner.Recognize(corpus.doc(id));
+    std::vector<const EntityMention*> gold;
+    for (const EntityMention& m : corpus.annotations(id).mentions) {
+      if (m.type == type) gold.push_back(&m);
+    }
+    for (const EntityMention& f : found) {
+      bool matched = false;
+      for (const EntityMention* g : gold) {
+        if (g->sentence == f.sentence && g->begin == f.begin &&
+            g->end == f.end) {
+          matched = true;
+          break;
+        }
+      }
+      (matched ? tp : fp) += 1;
+    }
+    for (const EntityMention* g : gold) {
+      bool matched = false;
+      for (const EntityMention& f : found) {
+        if (g->sentence == f.sentence && g->begin == f.begin &&
+            g->end == f.end) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) ++fn;
+    }
+  }
+  TaggerQuality q;
+  q.precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  q.recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  return q;
+}
+
+TEST(HmmNerTest, LearnsPersonRecognition) {
+  const Corpus& corpus = test::SharedCorpus();
+  HmmNer ner(EntityType::kPerson, &corpus.vocab());
+  ner.Train(TaggerTrainingData(EntityType::kPerson));
+  ASSERT_TRUE(ner.trained());
+  const TaggerQuality q = EvaluateTagger(ner, EntityType::kPerson);
+  EXPECT_GT(q.recall, 0.7);
+  EXPECT_GT(q.precision, 0.5);
+}
+
+TEST(HmmNerTest, UntrainedLabelsEverythingOutside) {
+  const Corpus& corpus = test::SharedCorpus();
+  HmmNer ner(EntityType::kPerson, &corpus.vocab());
+  EXPECT_TRUE(ner.Recognize(corpus.doc(0)).empty());
+}
+
+TEST(MemmNerTest, LearnsDisasterRecognition) {
+  const Corpus& corpus = test::SharedCorpus();
+  MemmNer ner(EntityType::kNaturalDisaster, &corpus.vocab());
+  ner.Train(TaggerTrainingData(EntityType::kNaturalDisaster));
+  const TaggerQuality q = EvaluateTagger(ner, EntityType::kNaturalDisaster);
+  EXPECT_GT(q.recall, 0.6);
+  EXPECT_GT(q.precision, 0.5);
+}
+
+TEST(CrfLiteNerTest, LearnsLocationRecognition) {
+  const Corpus& corpus = test::SharedCorpus();
+  CrfLiteNer ner(EntityType::kLocation, &corpus.vocab());
+  ner.Train(TaggerTrainingData(EntityType::kLocation));
+  const TaggerQuality q = EvaluateTagger(ner, EntityType::kLocation);
+  EXPECT_GT(q.recall, 0.7);
+  EXPECT_GT(q.precision, 0.6);
+}
+
+TEST(CrfLiteNerTest, LearnsChargeRecognition) {
+  const Corpus& corpus = test::SharedCorpus();
+  CrfLiteNer ner(EntityType::kCharge, &corpus.vocab());
+  ner.Train(TaggerTrainingData(EntityType::kCharge));
+  const TaggerQuality q = EvaluateTagger(ner, EntityType::kCharge);
+  EXPECT_GT(q.recall, 0.6);
+}
+
+}  // namespace
+}  // namespace ie

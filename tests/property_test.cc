@@ -1,0 +1,198 @@
+// Property-style parameterized sweeps over core invariants: metric
+// identities under random orders, kernel positive-semidefiniteness,
+// footrule metric-like behaviour, SGD boundedness, and generator density
+// scaling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "corpus/generator.h"
+#include "eval/metrics.h"
+#include "extract/relation_extractor.h"
+#include "learn/elastic_net_sgd.h"
+#include "learn/feature_selection.h"
+
+namespace ie {
+namespace {
+
+// ---- Metrics properties under random orders -------------------------------
+
+class MetricsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsPropertyTest, ApOfRandomOrderApproximatesDensity) {
+  Rng rng(GetParam());
+  const double density = 0.05 + 0.2 * rng.NextDouble();
+  std::vector<uint8_t> order;
+  size_t useful = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const bool u = rng.NextBool(density);
+    useful += u;
+    order.push_back(u ? 1 : 0);
+  }
+  if (useful == 0) GTEST_SKIP();
+  // For a random permutation, AP concentrates near the prevalence.
+  EXPECT_NEAR(AveragePrecision(order, useful), density, 0.08);
+}
+
+TEST_P(MetricsPropertyTest, RecallCurveIsMonotoneAndEndsAtOne) {
+  Rng rng(GetParam() + 1000);
+  std::vector<uint8_t> order;
+  size_t useful = 0;
+  for (int i = 0; i < 500; ++i) {
+    const bool u = rng.NextBool(0.1);
+    useful += u;
+    order.push_back(u ? 1 : 0);
+  }
+  if (useful == 0) GTEST_SKIP();
+  const auto curve = RecallCurve(order, useful);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1]);
+  }
+  EXPECT_NEAR(curve.back(), 1.0, 1e-12);
+}
+
+TEST_P(MetricsPropertyTest, AucInvariantToUniformPrefixTruncationDenial) {
+  // AUC of the reversed order equals 1 - AUC of the original.
+  Rng rng(GetParam() + 2000);
+  std::vector<uint8_t> order;
+  for (int i = 0; i < 300; ++i) order.push_back(rng.NextBool(0.2) ? 1 : 0);
+  std::vector<uint8_t> reversed(order.rbegin(), order.rend());
+  EXPECT_NEAR(RocAuc(order) + RocAuc(reversed), 1.0, 1e-9);
+}
+
+TEST_P(MetricsPropertyTest, DocsToReachRecallConsistentWithRecallAt) {
+  Rng rng(GetParam() + 3000);
+  std::vector<uint8_t> order;
+  size_t useful = 0;
+  for (int i = 0; i < 400; ++i) {
+    const bool u = rng.NextBool(0.15);
+    useful += u;
+    order.push_back(u ? 1 : 0);
+  }
+  if (useful == 0) GTEST_SKIP();
+  for (double target : {0.2, 0.5, 0.9}) {
+    const size_t docs = DocsToReachRecall(order, useful, target);
+    if (docs > order.size()) continue;  // unreachable
+    EXPECT_GE(RecallAt(order, useful, docs), target - 1e-9);
+    if (docs > 0) {
+      EXPECT_LT(RecallAt(order, useful, docs - 1), target);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---- Subsequence kernel PSD-ish properties ---------------------------------
+
+class KernelPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KernelPropertyTest, GramMatrix2x2IsPsd) {
+  Rng rng(GetParam());
+  SubsequenceKernelRelationExtractor extractor;
+  auto random_seq = [&]() {
+    std::vector<TokenId> seq;
+    const size_t len = 2 + rng.NextBounded(8);
+    for (size_t i = 0; i < len; ++i) {
+      seq.push_back(static_cast<TokenId>(rng.NextBounded(12)));
+    }
+    return seq;
+  };
+  const auto a = random_seq();
+  const auto b = random_seq();
+  const double kaa = extractor.NormalizedKernel(a, a);
+  const double kbb = extractor.NormalizedKernel(b, b);
+  const double kab = extractor.NormalizedKernel(a, b);
+  // Cauchy-Schwarz for a valid kernel: K(a,b)^2 <= K(a,a) K(b,b).
+  EXPECT_LE(kab * kab, kaa * kbb + 1e-9);
+  EXPECT_NEAR(kaa, 1.0, 1e-9);
+  EXPECT_NEAR(kbb, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelPropertyTest,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+// ---- Footrule metric-ish properties -------------------------------------
+
+class FootrulePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FootrulePropertyTest, NonNegativeSymmetricZeroOnIdentity) {
+  Rng rng(GetParam());
+  auto random_list = [&](uint32_t base) {
+    std::vector<WeightedFeature> list;
+    const size_t n = 3 + rng.NextBounded(10);
+    for (size_t i = 0; i < n; ++i) {
+      list.push_back({base + static_cast<uint32_t>(rng.NextBounded(30)),
+                      0.1 + rng.NextDouble()});
+    }
+    return list;
+  };
+  const auto a = random_list(0);
+  const auto b = random_list(0);
+  const double dab = GeneralizedFootrule(a, b);
+  EXPECT_GE(dab, 0.0);
+  EXPECT_NEAR(dab, GeneralizedFootrule(b, a), 1e-9);
+  EXPECT_NEAR(GeneralizedFootrule(a, a), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FootrulePropertyTest,
+                         ::testing::Values(21, 22, 23, 24, 25));
+
+// ---- SGD boundedness --------------------------------------------------------
+
+class SgdPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SgdPropertyTest, ScoresStayBoundedUnderAdversarialLabels) {
+  // Randomly flipping labels must not blow the weights up: the regularizer
+  // keeps scores of unit vectors within a λ-dependent envelope.
+  ElasticNetSgd sgd({.lambda_all = GetParam(), .lambda_l2_share = 0.99});
+  Rng rng(31);
+  std::vector<SparseVector::Entry> entries;
+  for (int i = 0; i < 3000; ++i) {
+    entries.clear();
+    for (int k = 0; k < 5; ++k) {
+      entries.emplace_back(static_cast<uint32_t>(rng.NextBounded(40)),
+                           1.0f);
+    }
+    SparseVector v = SparseVector::FromUnsorted(entries);
+    v.Normalize();
+    sgd.Step(v, rng.NextBool(0.5) ? 1 : -1);
+  }
+  // Pegasos-style bound: ||w|| <= ~1/sqrt(λ2eff) up to constants.
+  const double bound = 5.0 / std::sqrt(GetParam() * 0.99);
+  for (uint32_t id = 0; id < 40; ++id) {
+    SparseVector probe =
+        SparseVector::FromUnsorted({{id, 1.0f}});
+    EXPECT_LT(std::fabs(sgd.Score(probe)), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, SgdPropertyTest,
+                         ::testing::Values(0.01, 0.1, 0.5));
+
+// ---- Generator density scaling --------------------------------------------
+
+class DensityScaleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DensityScaleTest, GoldDensityTracksScale) {
+  GeneratorOptions options;
+  options.num_documents = 2500;
+  options.seed = 404;
+  options.density_scale = GetParam();
+  const Corpus corpus = GenerateCorpus(options);
+  std::vector<DocId> all(corpus.size());
+  for (DocId id = 0; id < corpus.size(); ++id) all[id] = id;
+  const RelationSpec& spec = GetRelation(RelationId::kPersonCharge);
+  const double density =
+      static_cast<double>(corpus.CountGoldUseful(spec.id, all)) /
+      static_cast<double>(corpus.size());
+  const double expected = spec.paper_density * GetParam();
+  EXPECT_NEAR(density, expected, expected * 0.6 + 0.004);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, DensityScaleTest,
+                         ::testing::Values(0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace ie

@@ -1,0 +1,156 @@
+#include "eval/recall_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/diversity.h"
+#include "test_util.h"
+
+namespace ie {
+namespace {
+
+// Synthetic scored population: useful docs score ~N(1, 0.5), useless
+// ~N(-1, 0.5), prevalence p.
+struct ScoredPopulation {
+  std::vector<double> scores;
+  std::vector<bool> labels;
+
+  ScoredPopulation(size_t n, double prevalence, uint64_t seed) {
+    Rng rng(seed);
+    for (size_t i = 0; i < n; ++i) {
+      const bool useful = rng.NextBool(prevalence);
+      labels.push_back(useful);
+      scores.push_back((useful ? 1.0 : -1.0) + 0.5 * rng.NextGaussian());
+    }
+  }
+};
+
+TEST(PlattCalibratorTest, FitsSeparableScores) {
+  ScoredPopulation pop(2000, 0.3, 1);
+  PlattCalibrator calibrator;
+  ASSERT_TRUE(calibrator.Fit(pop.scores, pop.labels));
+  EXPECT_GT(calibrator.Probability(2.0), 0.85);
+  EXPECT_LT(calibrator.Probability(-2.0), 0.15);
+  EXPECT_GT(calibrator.a(), 0.0);  // higher score => more likely useful
+}
+
+TEST(PlattCalibratorTest, RejectsDegenerateLabels) {
+  PlattCalibrator calibrator;
+  EXPECT_FALSE(calibrator.Fit({1.0, 2.0}, {true, true}));
+  EXPECT_FALSE(calibrator.Fit({}, {}));
+  EXPECT_FALSE(calibrator.Fit({1.0}, {true, false}));
+}
+
+TEST(PlattCalibratorTest, CalibratedProbabilitiesMatchPrevalenceByBucket) {
+  ScoredPopulation pop(4000, 0.2, 2);
+  PlattCalibrator calibrator;
+  ASSERT_TRUE(calibrator.Fit(pop.scores, pop.labels));
+  // Mean predicted probability should approximate overall prevalence.
+  double mean_p = 0.0;
+  for (double s : pop.scores) mean_p += calibrator.Probability(s);
+  mean_p /= static_cast<double>(pop.scores.size());
+  EXPECT_NEAR(mean_p, 0.2, 0.04);
+}
+
+TEST(EstimateRecallTest, RecoversTrueRecall) {
+  // Process the top-scoring half; estimate recall against ground truth.
+  ScoredPopulation pop(4000, 0.15, 3);
+  std::vector<size_t> order(pop.scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return pop.scores[a] > pop.scores[b];
+  });
+
+  std::vector<double> processed_scores, remaining_scores;
+  std::vector<bool> processed_labels;
+  size_t found = 0, total_useful = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    total_useful += pop.labels[order[i]];
+    if (i < order.size() / 2) {
+      processed_scores.push_back(pop.scores[order[i]]);
+      processed_labels.push_back(pop.labels[order[i]]);
+      found += pop.labels[order[i]];
+    } else {
+      remaining_scores.push_back(pop.scores[order[i]]);
+    }
+  }
+  const RecallEstimate estimate = EstimateRecall(
+      processed_scores, processed_labels, remaining_scores);
+  const double true_recall =
+      static_cast<double>(found) / static_cast<double>(total_useful);
+  EXPECT_EQ(estimate.found, found);
+  EXPECT_NEAR(estimate.estimated_recall, true_recall, 0.08);
+}
+
+TEST(EstimateRecallTest, FallsBackToPrevalenceOnDegenerateLabels) {
+  const RecallEstimate estimate =
+      EstimateRecall({1.0, 2.0}, {true, true}, {0.0, 0.0});
+  EXPECT_EQ(estimate.found, 2u);
+  // Prevalence 1.0 over 2 remaining docs => ~2 estimated remaining.
+  EXPECT_NEAR(estimate.estimated_remaining, 2.0, 1e-9);
+  EXPECT_NEAR(estimate.estimated_recall, 0.5, 1e-9);
+}
+
+TEST(EstimateDocsToTargetRecallTest, ZeroWhenAlreadyReached) {
+  ScoredPopulation pop(1000, 0.3, 4);
+  // All useful docs already processed: remaining scores are all low.
+  std::vector<double> remaining(500, -3.0);
+  EXPECT_EQ(EstimateDocsToTargetRecall(pop.scores, pop.labels, remaining,
+                                       0.5),
+            0u);
+}
+
+TEST(EstimateDocsToTargetRecallTest, MonotoneInTarget) {
+  ScoredPopulation processed(1000, 0.2, 5);
+  ScoredPopulation remaining_pop(1000, 0.2, 6);
+  const size_t d50 = EstimateDocsToTargetRecall(
+      processed.scores, processed.labels, remaining_pop.scores, 0.5);
+  const size_t d80 = EstimateDocsToTargetRecall(
+      processed.scores, processed.labels, remaining_pop.scores, 0.8);
+  const size_t d95 = EstimateDocsToTargetRecall(
+      processed.scores, processed.labels, remaining_pop.scores, 0.95);
+  EXPECT_LE(d50, d80);
+  EXPECT_LE(d80, d95);
+}
+
+// ---- Tuple diversity ------------------------------------------------------
+
+TEST(DiversityTest, CurveIsMonotoneAndEndsAtTotals) {
+  const auto& outcomes = test::SharedOutcomes(RelationId::kPersonCareer);
+  const auto& pool = test::SharedCorpus().splits().test;
+  const auto curve = TupleDiversityCurve(pool, outcomes, 10);
+  ASSERT_FALSE(curve.empty());
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].distinct_tuples, curve[i - 1].distinct_tuples);
+    EXPECT_GE(curve[i].documents_processed,
+              curve[i - 1].documents_processed);
+  }
+  EXPECT_EQ(curve.back().documents_processed, pool.size());
+  EXPECT_GT(curve.back().distinct_tuples, 0u);
+  EXPECT_GE(curve.back().distinct_tuples,
+            curve.back().distinct_attr1_values);
+}
+
+TEST(DiversityTest, UsefulFirstOrderHasHigherEarlyDiversity) {
+  const auto& outcomes = test::SharedOutcomes(RelationId::kPersonCareer);
+  const auto& pool = test::SharedCorpus().splits().test;
+  std::vector<DocId> useful_first, useless_first;
+  for (DocId id : pool) {
+    (outcomes.useful(id) ? useful_first : useless_first).push_back(id);
+  }
+  std::vector<DocId> good = useful_first;
+  good.insert(good.end(), useless_first.begin(), useless_first.end());
+  std::vector<DocId> bad = useless_first;
+  bad.insert(bad.end(), useful_first.begin(), useful_first.end());
+  EXPECT_GT(EarlyDiversityIndex(good, outcomes),
+            EarlyDiversityIndex(bad, outcomes));
+}
+
+TEST(DiversityTest, EmptyOrderGivesEmptyCurve) {
+  const auto& outcomes = test::SharedOutcomes(RelationId::kPersonCareer);
+  EXPECT_TRUE(TupleDiversityCurve({}, outcomes).empty());
+  EXPECT_DOUBLE_EQ(EarlyDiversityIndex({}, outcomes), 0.0);
+}
+
+}  // namespace
+}  // namespace ie

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "text/document.h"
+#include "text/featurizer.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace ie {
+namespace {
+
+// ---- Vocabulary --------------------------------------------------------
+
+TEST(VocabularyTest, InternAssignsSequentialIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Intern("alpha"), 0u);
+  EXPECT_EQ(vocab.Intern("beta"), 1u);
+  EXPECT_EQ(vocab.Intern("alpha"), 0u);
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(VocabularyTest, LookupDoesNotIntern) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Lookup("missing"), Vocabulary::kInvalidId);
+  EXPECT_EQ(vocab.size(), 0u);
+}
+
+TEST(VocabularyTest, TermRoundTrip) {
+  Vocabulary vocab;
+  const uint32_t id = vocab.Intern("gamma");
+  EXPECT_EQ(vocab.Term(id), "gamma");
+  EXPECT_TRUE(vocab.Contains("gamma"));
+  EXPECT_FALSE(vocab.Contains("delta"));
+}
+
+TEST(VocabularyTest, ManyTermsStayStable) {
+  Vocabulary vocab;
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(vocab.Intern("term" + std::to_string(i)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(vocab.Term(ids[i]), "term" + std::to_string(i));
+  }
+}
+
+// ---- Tokenizer -----------------------------------------------------------
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  const auto tokens = TokenizeWords("A Tsunami swept HAWAII.");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[1], "tsunami");
+  EXPECT_EQ(tokens[3], "hawaii");
+}
+
+TEST(TokenizerTest, KeepsInternalApostropheAndHyphen) {
+  const auto tokens = TokenizeWords("O'Brien's man-made plan");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "o'brien's");
+  EXPECT_EQ(tokens[1], "man-made");
+}
+
+TEST(TokenizerTest, DropsPunctuation) {
+  const auto tokens = TokenizeWords("well, -- (really?)");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "well");
+  EXPECT_EQ(tokens[1], "really");
+}
+
+TEST(TokenizerTest, NumbersAreTokens) {
+  const auto tokens = TokenizeWords("in march 1994");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2], "1994");
+}
+
+TEST(TokenizerTest, EmptyText) {
+  EXPECT_TRUE(TokenizeWords("").empty());
+  EXPECT_TRUE(TokenizeWords("  .. !").empty());
+}
+
+TEST(SentenceSplitTest, SplitsOnTerminators) {
+  const auto sentences =
+      SplitSentences("A tsunami hit. Many fled! Why? The end.");
+  ASSERT_EQ(sentences.size(), 4u);
+  EXPECT_EQ(sentences[0], "A tsunami hit.");
+  EXPECT_EQ(sentences[2], " Why?");
+}
+
+TEST(SentenceSplitTest, SingleLetterAbbreviationDoesNotSplit) {
+  const auto sentences = SplitSentences("The u.s. sent aid. Done.");
+  ASSERT_EQ(sentences.size(), 2u);
+}
+
+TEST(SentenceSplitTest, TrailingTextWithoutTerminator) {
+  const auto sentences = SplitSentences("First. trailing words");
+  ASSERT_EQ(sentences.size(), 2u);
+  EXPECT_EQ(sentences[1], " trailing words");
+}
+
+TEST(TextToDocumentTest, BuildsSentencesOfTokenIds) {
+  Vocabulary vocab;
+  const Document doc =
+      TextToDocument(7, "A tsunami swept Hawaii. People fled.", vocab);
+  EXPECT_EQ(doc.id, 7u);
+  ASSERT_EQ(doc.sentences.size(), 2u);
+  EXPECT_EQ(doc.sentences[0].size(), 4u);
+  EXPECT_EQ(vocab.Term(doc.sentences[0].tokens[1]), "tsunami");
+  EXPECT_EQ(doc.TokenCount(), 6u);
+}
+
+TEST(TextToDocumentTest, SentenceToStringRoundTrip) {
+  Vocabulary vocab;
+  const Document doc = TextToDocument(0, "a tsunami swept hawaii.", vocab);
+  EXPECT_EQ(SentenceToString(doc.sentences[0], vocab),
+            "a tsunami swept hawaii");
+}
+
+// ---- Featurizer ------------------------------------------------------------
+
+class FeaturizerTest : public ::testing::Test {
+ protected:
+  Document MakeDoc(const std::string& text) {
+    return TextToDocument(0, text, vocab_);
+  }
+  Vocabulary vocab_;
+};
+
+TEST_F(FeaturizerTest, UnigramsNormalized) {
+  Featurizer featurizer(&vocab_);
+  const Document doc = MakeDoc("storm storm surge.");
+  const SparseVector v = featurizer.Featurize(doc);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_NEAR(v.L2Norm(), 1.0, 1e-6);
+  // log-tf: the repeated word gets a higher (but sublinear) weight.
+  EXPECT_GT(v.Get(vocab_.Lookup("storm")), v.Get(vocab_.Lookup("surge")));
+  EXPECT_LT(v.Get(vocab_.Lookup("storm")),
+            2.0f * v.Get(vocab_.Lookup("surge")));
+}
+
+TEST_F(FeaturizerTest, RawTfOption) {
+  Featurizer featurizer(&vocab_, {.log_tf = false, .l2_normalize = false});
+  const SparseVector v = featurizer.Featurize(MakeDoc("storm storm surge."));
+  EXPECT_FLOAT_EQ(v.Get(vocab_.Lookup("storm")), 2.0f);
+}
+
+TEST_F(FeaturizerTest, BigramsInterned) {
+  Featurizer featurizer(&vocab_,
+                        {.use_bigrams = true, .l2_normalize = false});
+  const SparseVector v = featurizer.Featurize(MakeDoc("storm surge."));
+  const uint32_t bigram = vocab_.Lookup("storm_surge");
+  ASSERT_NE(bigram, Vocabulary::kInvalidId);
+  EXPECT_GT(v.Get(bigram), 0.0f);
+}
+
+TEST_F(FeaturizerTest, BigramsDoNotCrossSentences) {
+  Featurizer featurizer(&vocab_,
+                        {.use_bigrams = true, .l2_normalize = false});
+  featurizer.Featurize(MakeDoc("storm. surge."));
+  EXPECT_EQ(vocab_.Lookup("storm_surge"), Vocabulary::kInvalidId);
+}
+
+TEST_F(FeaturizerTest, AttributeFeatures) {
+  Featurizer featurizer(&vocab_);
+  const Document doc = MakeDoc("a tsunami swept hawaii.");
+  const SparseVector v = featurizer.Featurize(doc, {"tsunami", "hawaii"});
+  EXPECT_GT(v.Get(vocab_.Lookup("attr:tsunami")), 0.0f);
+  EXPECT_GT(v.Get(vocab_.Lookup("attr:hawaii")), 0.0f);
+  // Word features and attribute features coexist.
+  EXPECT_GT(v.Get(vocab_.Lookup("tsunami")), 0.0f);
+}
+
+TEST_F(FeaturizerTest, AttributeFeatureIdStable) {
+  Featurizer featurizer(&vocab_);
+  EXPECT_EQ(featurizer.AttributeFeatureId("x"),
+            featurizer.AttributeFeatureId("x"));
+  EXPECT_NE(featurizer.AttributeFeatureId("x"),
+            featurizer.AttributeFeatureId("y"));
+}
+
+TEST_F(FeaturizerTest, IdfReweighting) {
+  Featurizer featurizer(&vocab_, {.l2_normalize = false});
+  const Document doc = MakeDoc("common rare.");
+  const uint32_t common = vocab_.Lookup("common");
+  const uint32_t rare = vocab_.Lookup("rare");
+  std::vector<float> idf(vocab_.size(), 1.0f);
+  idf[common] = 0.5f;
+  idf[rare] = 4.0f;
+  featurizer.SetIdf(std::move(idf));
+  ASSERT_TRUE(featurizer.has_idf());
+  const SparseVector v = featurizer.Featurize(doc);
+  EXPECT_FLOAT_EQ(v.Get(common), 0.5f);
+  EXPECT_FLOAT_EQ(v.Get(rare), 4.0f);
+}
+
+TEST_F(FeaturizerTest, IdfDefaultForLateFeatures) {
+  Featurizer featurizer(&vocab_, {.l2_normalize = false});
+  vocab_.Intern("early");
+  featurizer.SetIdf({3.0f}, /*default_idf=*/2.0f);
+  // "late" is interned after the idf table was installed: default applies.
+  const SparseVector v = featurizer.Featurize(MakeDoc("early late."));
+  EXPECT_FLOAT_EQ(v.Get(vocab_.Lookup("early")), 3.0f);
+  EXPECT_FLOAT_EQ(v.Get(vocab_.Lookup("late")), 2.0f);
+}
+
+}  // namespace
+}  // namespace ie

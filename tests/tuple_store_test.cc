@@ -1,0 +1,87 @@
+#include "extract/tuple_store.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ie {
+namespace {
+
+ExtractedTuple Tuple(const std::string& a1, const std::string& a2,
+                     uint32_t sentence = 0) {
+  return {RelationId::kNaturalDisaster, a1, a2, sentence};
+}
+
+TEST(TupleStoreTest, DeduplicatesByAttributePair) {
+  TupleStore store(RelationId::kNaturalDisaster);
+  ASSERT_TRUE(store.Add(1, {Tuple("earthquake", "tokyo")}).ok());
+  ASSERT_TRUE(store.Add(2, {Tuple("earthquake", "tokyo", 3)}).ok());
+  ASSERT_TRUE(store.Add(2, {Tuple("tsunami", "hawaii")}).ok());
+  EXPECT_EQ(store.NumFacts(), 2u);
+  EXPECT_EQ(store.NumMentions(), 3u);
+}
+
+TEST(TupleStoreTest, TracksProvenance) {
+  TupleStore store(RelationId::kNaturalDisaster);
+  ASSERT_TRUE(store.Add(1, {Tuple("earthquake", "tokyo")}).ok());
+  ASSERT_TRUE(store.Add(5, {Tuple("earthquake", "tokyo")}).ok());
+  ASSERT_TRUE(store.Add(5, {Tuple("earthquake", "tokyo", 7)}).ok());
+  ASSERT_EQ(store.NumFacts(), 1u);
+  const TupleStore::Fact& fact = store.facts()[0];
+  EXPECT_EQ(fact.supporting_documents, (std::vector<DocId>{1, 5}));
+  EXPECT_EQ(fact.mention_count, 3u);
+}
+
+TEST(TupleStoreTest, RejectsWrongRelation) {
+  TupleStore store(RelationId::kNaturalDisaster);
+  ExtractedTuple wrong{RelationId::kPersonCharge, "a", "b", 0};
+  EXPECT_TRUE(store.Add(0, {wrong}).IsInvalidArgument());
+}
+
+TEST(TupleStoreTest, LookupByEitherAttribute) {
+  TupleStore store(RelationId::kNaturalDisaster);
+  ASSERT_TRUE(store.Add(1, {Tuple("earthquake", "tokyo")}).ok());
+  ASSERT_TRUE(store.Add(2, {Tuple("earthquake", "osaka")}).ok());
+  ASSERT_TRUE(store.Add(3, {Tuple("flood", "tokyo")}).ok());
+  EXPECT_EQ(store.FindByAttr1("earthquake").size(), 2u);
+  EXPECT_EQ(store.FindByAttr2("tokyo").size(), 2u);
+  EXPECT_TRUE(store.FindByAttr1("volcano").empty());
+  EXPECT_EQ(store.FindByAttr2("osaka")[0]->attr1, "earthquake");
+}
+
+TEST(TupleStoreTest, TopFactsBySupport) {
+  TupleStore store(RelationId::kNaturalDisaster);
+  for (DocId doc = 0; doc < 5; ++doc) {
+    ASSERT_TRUE(store.Add(doc, {Tuple("earthquake", "tokyo")}).ok());
+  }
+  ASSERT_TRUE(store.Add(9, {Tuple("flood", "osaka")}).ok());
+  const auto top = store.TopFactsBySupport(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0]->attr1, "earthquake");
+  EXPECT_EQ(store.TopFactsBySupport(10).size(), 2u);
+}
+
+TEST(TupleStoreTest, PopulatedFromRealOutcomes) {
+  const auto& outcomes = test::SharedOutcomes(RelationId::kPersonCareer);
+  TupleStore store(RelationId::kPersonCareer);
+  const auto& pool = test::SharedCorpus().splits().test;
+  for (DocId id : pool) {
+    ASSERT_TRUE(store.Add(id, outcomes.tuples(id)).ok());
+  }
+  EXPECT_GT(store.NumFacts(), 100u);
+  EXPECT_GE(store.NumMentions(), store.NumFacts());
+  // Spot check: every fact's provenance docs actually produced the fact.
+  const auto top = store.TopFactsBySupport(3);
+  for (const TupleStore::Fact* fact : top) {
+    for (DocId doc : fact->supporting_documents) {
+      bool found = false;
+      for (const ExtractedTuple& t : outcomes.tuples(doc)) {
+        found |= t.attr1 == fact->attr1 && t.attr2 == fact->attr2;
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ie
