@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_elasticnet.dir/bench_ablation_elasticnet.cc.o"
+  "CMakeFiles/bench_ablation_elasticnet.dir/bench_ablation_elasticnet.cc.o.d"
+  "bench_ablation_elasticnet"
+  "bench_ablation_elasticnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_elasticnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_search_access.dir/bench_ablation_search_access.cc.o"
+  "CMakeFiles/bench_ablation_search_access.dir/bench_ablation_search_access.cc.o.d"
+  "bench_ablation_search_access"
+  "bench_ablation_search_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_search_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

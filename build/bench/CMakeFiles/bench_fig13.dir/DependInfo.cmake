@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13.cc" "bench/CMakeFiles/bench_fig13.dir/bench_fig13.cc.o" "gcc" "bench/CMakeFiles/bench_fig13.dir/bench_fig13.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/ie_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/ie_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/ie_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/ie_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/ie_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/update/CMakeFiles/ie_update.dir/DependInfo.cmake"
+  "/root/repo/build/src/ranking/CMakeFiles/ie_ranking.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/ie_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/ie_learn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ie_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ie_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

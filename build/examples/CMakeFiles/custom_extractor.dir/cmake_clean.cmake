@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_extractor.dir/custom_extractor.cpp.o"
+  "CMakeFiles/custom_extractor.dir/custom_extractor.cpp.o.d"
+  "custom_extractor"
+  "custom_extractor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_extractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disaster_monitoring.dir/disaster_monitoring.cpp.o"
+  "CMakeFiles/disaster_monitoring.dir/disaster_monitoring.cpp.o.d"
+  "disaster_monitoring"
+  "disaster_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disaster_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_interface_extraction.dir/search_interface_extraction.cpp.o"
+  "CMakeFiles/search_interface_extraction.dir/search_interface_extraction.cpp.o.d"
+  "search_interface_extraction"
+  "search_interface_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_interface_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

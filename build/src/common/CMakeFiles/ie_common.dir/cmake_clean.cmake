@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ie_common.dir/logging.cc.o"
+  "CMakeFiles/ie_common.dir/logging.cc.o.d"
+  "CMakeFiles/ie_common.dir/rng.cc.o"
+  "CMakeFiles/ie_common.dir/rng.cc.o.d"
+  "CMakeFiles/ie_common.dir/stats.cc.o"
+  "CMakeFiles/ie_common.dir/stats.cc.o.d"
+  "CMakeFiles/ie_common.dir/status.cc.o"
+  "CMakeFiles/ie_common.dir/status.cc.o.d"
+  "CMakeFiles/ie_common.dir/string_util.cc.o"
+  "CMakeFiles/ie_common.dir/string_util.cc.o.d"
+  "libie_common.a"
+  "libie_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ie_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ie_corpus.dir/corpus.cc.o"
+  "CMakeFiles/ie_corpus.dir/corpus.cc.o.d"
+  "CMakeFiles/ie_corpus.dir/generator.cc.o"
+  "CMakeFiles/ie_corpus.dir/generator.cc.o.d"
+  "CMakeFiles/ie_corpus.dir/lexicon.cc.o"
+  "CMakeFiles/ie_corpus.dir/lexicon.cc.o.d"
+  "CMakeFiles/ie_corpus.dir/relation.cc.o"
+  "CMakeFiles/ie_corpus.dir/relation.cc.o.d"
+  "CMakeFiles/ie_corpus.dir/topic_model.cc.o"
+  "CMakeFiles/ie_corpus.dir/topic_model.cc.o.d"
+  "libie_corpus.a"
+  "libie_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ie_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ie_eval.dir/diversity.cc.o"
+  "CMakeFiles/ie_eval.dir/diversity.cc.o.d"
+  "CMakeFiles/ie_eval.dir/experiment.cc.o"
+  "CMakeFiles/ie_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/ie_eval.dir/metrics.cc.o"
+  "CMakeFiles/ie_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/ie_eval.dir/recall_estimator.cc.o"
+  "CMakeFiles/ie_eval.dir/recall_estimator.cc.o.d"
+  "libie_eval.a"
+  "libie_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ie_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libie_eval.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/crf_ner.cc" "src/extract/CMakeFiles/ie_extract.dir/crf_ner.cc.o" "gcc" "src/extract/CMakeFiles/ie_extract.dir/crf_ner.cc.o.d"
+  "/root/repo/src/extract/extraction_system.cc" "src/extract/CMakeFiles/ie_extract.dir/extraction_system.cc.o" "gcc" "src/extract/CMakeFiles/ie_extract.dir/extraction_system.cc.o.d"
+  "/root/repo/src/extract/hmm_ner.cc" "src/extract/CMakeFiles/ie_extract.dir/hmm_ner.cc.o" "gcc" "src/extract/CMakeFiles/ie_extract.dir/hmm_ner.cc.o.d"
+  "/root/repo/src/extract/memm_ner.cc" "src/extract/CMakeFiles/ie_extract.dir/memm_ner.cc.o" "gcc" "src/extract/CMakeFiles/ie_extract.dir/memm_ner.cc.o.d"
+  "/root/repo/src/extract/ner.cc" "src/extract/CMakeFiles/ie_extract.dir/ner.cc.o" "gcc" "src/extract/CMakeFiles/ie_extract.dir/ner.cc.o.d"
+  "/root/repo/src/extract/relation_extractor.cc" "src/extract/CMakeFiles/ie_extract.dir/relation_extractor.cc.o" "gcc" "src/extract/CMakeFiles/ie_extract.dir/relation_extractor.cc.o.d"
+  "/root/repo/src/extract/sequence_tagger.cc" "src/extract/CMakeFiles/ie_extract.dir/sequence_tagger.cc.o" "gcc" "src/extract/CMakeFiles/ie_extract.dir/sequence_tagger.cc.o.d"
+  "/root/repo/src/extract/tuple_store.cc" "src/extract/CMakeFiles/ie_extract.dir/tuple_store.cc.o" "gcc" "src/extract/CMakeFiles/ie_extract.dir/tuple_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ie_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ie_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/ie_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/ie_learn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ie_extract.dir/crf_ner.cc.o"
+  "CMakeFiles/ie_extract.dir/crf_ner.cc.o.d"
+  "CMakeFiles/ie_extract.dir/extraction_system.cc.o"
+  "CMakeFiles/ie_extract.dir/extraction_system.cc.o.d"
+  "CMakeFiles/ie_extract.dir/hmm_ner.cc.o"
+  "CMakeFiles/ie_extract.dir/hmm_ner.cc.o.d"
+  "CMakeFiles/ie_extract.dir/memm_ner.cc.o"
+  "CMakeFiles/ie_extract.dir/memm_ner.cc.o.d"
+  "CMakeFiles/ie_extract.dir/ner.cc.o"
+  "CMakeFiles/ie_extract.dir/ner.cc.o.d"
+  "CMakeFiles/ie_extract.dir/relation_extractor.cc.o"
+  "CMakeFiles/ie_extract.dir/relation_extractor.cc.o.d"
+  "CMakeFiles/ie_extract.dir/sequence_tagger.cc.o"
+  "CMakeFiles/ie_extract.dir/sequence_tagger.cc.o.d"
+  "CMakeFiles/ie_extract.dir/tuple_store.cc.o"
+  "CMakeFiles/ie_extract.dir/tuple_store.cc.o.d"
+  "libie_extract.a"
+  "libie_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ie_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ie_index.dir/inverted_index.cc.o"
+  "CMakeFiles/ie_index.dir/inverted_index.cc.o.d"
+  "libie_index.a"
+  "libie_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ie_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

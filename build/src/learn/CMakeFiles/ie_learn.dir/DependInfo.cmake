@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learn/bagging.cc" "src/learn/CMakeFiles/ie_learn.dir/bagging.cc.o" "gcc" "src/learn/CMakeFiles/ie_learn.dir/bagging.cc.o.d"
+  "/root/repo/src/learn/binary_svm.cc" "src/learn/CMakeFiles/ie_learn.dir/binary_svm.cc.o" "gcc" "src/learn/CMakeFiles/ie_learn.dir/binary_svm.cc.o.d"
+  "/root/repo/src/learn/elastic_net_sgd.cc" "src/learn/CMakeFiles/ie_learn.dir/elastic_net_sgd.cc.o" "gcc" "src/learn/CMakeFiles/ie_learn.dir/elastic_net_sgd.cc.o.d"
+  "/root/repo/src/learn/feature_selection.cc" "src/learn/CMakeFiles/ie_learn.dir/feature_selection.cc.o" "gcc" "src/learn/CMakeFiles/ie_learn.dir/feature_selection.cc.o.d"
+  "/root/repo/src/learn/one_class_svm.cc" "src/learn/CMakeFiles/ie_learn.dir/one_class_svm.cc.o" "gcc" "src/learn/CMakeFiles/ie_learn.dir/one_class_svm.cc.o.d"
+  "/root/repo/src/learn/rank_svm.cc" "src/learn/CMakeFiles/ie_learn.dir/rank_svm.cc.o" "gcc" "src/learn/CMakeFiles/ie_learn.dir/rank_svm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ie_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ie_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

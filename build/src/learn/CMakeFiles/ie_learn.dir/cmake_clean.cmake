@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ie_learn.dir/bagging.cc.o"
+  "CMakeFiles/ie_learn.dir/bagging.cc.o.d"
+  "CMakeFiles/ie_learn.dir/binary_svm.cc.o"
+  "CMakeFiles/ie_learn.dir/binary_svm.cc.o.d"
+  "CMakeFiles/ie_learn.dir/elastic_net_sgd.cc.o"
+  "CMakeFiles/ie_learn.dir/elastic_net_sgd.cc.o.d"
+  "CMakeFiles/ie_learn.dir/feature_selection.cc.o"
+  "CMakeFiles/ie_learn.dir/feature_selection.cc.o.d"
+  "CMakeFiles/ie_learn.dir/one_class_svm.cc.o"
+  "CMakeFiles/ie_learn.dir/one_class_svm.cc.o.d"
+  "CMakeFiles/ie_learn.dir/rank_svm.cc.o"
+  "CMakeFiles/ie_learn.dir/rank_svm.cc.o.d"
+  "libie_learn.a"
+  "libie_learn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ie_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ie_pipeline.dir/factcrawl_pipeline.cc.o"
+  "CMakeFiles/ie_pipeline.dir/factcrawl_pipeline.cc.o.d"
+  "CMakeFiles/ie_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/ie_pipeline.dir/pipeline.cc.o.d"
+  "CMakeFiles/ie_pipeline.dir/qxtract_pipeline.cc.o"
+  "CMakeFiles/ie_pipeline.dir/qxtract_pipeline.cc.o.d"
+  "libie_pipeline.a"
+  "libie_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ie_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

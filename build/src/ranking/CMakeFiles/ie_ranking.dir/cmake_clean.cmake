@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ie_ranking.dir/factcrawl.cc.o"
+  "CMakeFiles/ie_ranking.dir/factcrawl.cc.o.d"
+  "CMakeFiles/ie_ranking.dir/learned_rankers.cc.o"
+  "CMakeFiles/ie_ranking.dir/learned_rankers.cc.o.d"
+  "CMakeFiles/ie_ranking.dir/query_learning.cc.o"
+  "CMakeFiles/ie_ranking.dir/query_learning.cc.o.d"
+  "libie_ranking.a"
+  "libie_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ie_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

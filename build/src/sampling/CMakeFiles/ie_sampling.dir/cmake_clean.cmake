@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ie_sampling.dir/cqs_learning.cc.o"
+  "CMakeFiles/ie_sampling.dir/cqs_learning.cc.o.d"
+  "CMakeFiles/ie_sampling.dir/sampler.cc.o"
+  "CMakeFiles/ie_sampling.dir/sampler.cc.o.d"
+  "libie_sampling.a"
+  "libie_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ie_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

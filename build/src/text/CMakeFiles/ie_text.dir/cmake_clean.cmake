@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ie_text.dir/featurizer.cc.o"
+  "CMakeFiles/ie_text.dir/featurizer.cc.o.d"
+  "CMakeFiles/ie_text.dir/sparse_vector.cc.o"
+  "CMakeFiles/ie_text.dir/sparse_vector.cc.o.d"
+  "CMakeFiles/ie_text.dir/tokenizer.cc.o"
+  "CMakeFiles/ie_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/ie_text.dir/vocabulary.cc.o"
+  "CMakeFiles/ie_text.dir/vocabulary.cc.o.d"
+  "libie_text.a"
+  "libie_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ie_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ie_update.dir/update_detector.cc.o"
+  "CMakeFiles/ie_update.dir/update_detector.cc.o.d"
+  "libie_update.a"
+  "libie_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ie_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

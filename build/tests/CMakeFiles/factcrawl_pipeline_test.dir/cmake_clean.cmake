@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factcrawl_pipeline_test.dir/factcrawl_pipeline_test.cc.o"
+  "CMakeFiles/factcrawl_pipeline_test.dir/factcrawl_pipeline_test.cc.o.d"
+  "factcrawl_pipeline_test"
+  "factcrawl_pipeline_test.pdb"
+  "factcrawl_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factcrawl_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

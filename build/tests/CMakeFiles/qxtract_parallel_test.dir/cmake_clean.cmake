@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qxtract_parallel_test.dir/qxtract_parallel_test.cc.o"
+  "CMakeFiles/qxtract_parallel_test.dir/qxtract_parallel_test.cc.o.d"
+  "qxtract_parallel_test"
+  "qxtract_parallel_test.pdb"
+  "qxtract_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qxtract_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recall_estimator_test.dir/recall_estimator_test.cc.o"
+  "CMakeFiles/recall_estimator_test.dir/recall_estimator_test.cc.o.d"
+  "recall_estimator_test"
+  "recall_estimator_test.pdb"
+  "recall_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recall_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

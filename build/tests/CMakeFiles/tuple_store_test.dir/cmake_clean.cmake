@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_store_test.dir/tuple_store_test.cc.o"
+  "CMakeFiles/tuple_store_test.dir/tuple_store_test.cc.o.d"
+  "tuple_store_test"
+  "tuple_store_test.pdb"
+  "tuple_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_detector_test.dir/update_detector_test.cc.o"
+  "CMakeFiles/update_detector_test.dir/update_detector_test.cc.o.d"
+  "update_detector_test"
+  "update_detector_test.pdb"
+  "update_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

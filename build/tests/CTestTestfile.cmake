@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/common_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_vector_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/learn_test[1]_include.cmake")
+include("/root/repo/build/tests/ner_test[1]_include.cmake")
+include("/root/repo/build/tests/relation_extractor_test[1]_include.cmake")
+include("/root/repo/build/tests/ranking_test[1]_include.cmake")
+include("/root/repo/build/tests/sampling_test[1]_include.cmake")
+include("/root/repo/build/tests/update_detector_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/factcrawl_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/recall_estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/tuple_store_test[1]_include.cmake")
+include("/root/repo/build/tests/qxtract_parallel_test[1]_include.cmake")
