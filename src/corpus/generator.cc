@@ -1,6 +1,7 @@
 #include "corpus/generator.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <numeric>
 
 #include "common/logging.h"
@@ -566,14 +567,15 @@ void Generator::AssignSplits(Corpus& corpus) {
   std::vector<DocId> ids(corpus.size());
   std::iota(ids.begin(), ids.end(), 0);
   rng_.Shuffle(ids);
-  const size_t n_train =
-      static_cast<size_t>(options_.train_fraction * corpus.size());
-  const size_t n_dev =
-      static_cast<size_t>(options_.dev_fraction * corpus.size());
+  const double total = static_cast<double>(corpus.size());
+  const size_t n_train = static_cast<size_t>(options_.train_fraction * total);
+  const size_t n_dev = static_cast<size_t>(options_.dev_fraction * total);
   CorpusSplits& splits = corpus.mutable_splits();
-  splits.train.assign(ids.begin(), ids.begin() + n_train);
-  splits.dev.assign(ids.begin() + n_train, ids.begin() + n_train + n_dev);
-  splits.test.assign(ids.begin() + n_train + n_dev, ids.end());
+  const auto train_end = ids.begin() + static_cast<std::ptrdiff_t>(n_train);
+  const auto dev_end = train_end + static_cast<std::ptrdiff_t>(n_dev);
+  splits.train.assign(ids.begin(), train_end);
+  splits.dev.assign(train_end, dev_end);
+  splits.test.assign(dev_end, ids.end());
 }
 
 Corpus Generator::Generate() {

@@ -4,10 +4,10 @@ namespace ie {
 
 namespace {
 
-Lexicon* BuildLexicon() {
-  auto* lex = new Lexicon();
+Lexicon BuildLexicon() {
+  Lexicon lex;
 
-  lex->person_first_names = {
+  lex.person_first_names = {
       "james",   "maria",  "robert",  "elena",   "michael", "sofia",
       "david",   "laura",  "carlos",  "anna",    "peter",   "rachel",
       "thomas",  "nadia",  "steven",  "claire",  "victor",  "diana",
@@ -16,7 +16,7 @@ Lexicon* BuildLexicon() {
       "walter",  "judith", "oscar",   "beatriz", "samuel",  "olga",
       "henry",   "priya",  "daniel",  "greta"};
 
-  lex->person_last_names = {
+  lex.person_last_names = {
       "anderson",  "barrio",    "chen",      "dawson",    "ellis",
       "fernandez", "gravano",   "hoffman",   "ivanov",    "jensen",
       "kumar",     "lopez",     "morales",   "nakamura",  "ortega",
@@ -28,7 +28,7 @@ Lexicon* BuildLexicon() {
       "okafor",    "pereira",   "rossi",     "simoes",    "thorne",
       "ulrich",    "vargas",    "weber",     "yoshida",   "zamora"};
 
-  lex->locations = {
+  lex.locations = {
       "hawaii",       "california", "tokyo",      "manila",     "lisbon",
       "jakarta",      "santiago",   "istanbul",   "oslo",       "nairobi",
       "bogota",       "mumbai",     "osaka",      "athens",     "cairo",
@@ -42,7 +42,7 @@ Lexicon* BuildLexicon() {
       "fukushima",    "aceh",       "gujarat",    "sichuan",    "tohoku",
       "puebla",       "arequipa",   "batangas",   "zagreb",     "porto"};
 
-  lex->org_stems = {
+  lex.org_stems = {
       "acme",      "stellar",   "pinnacle", "meridian",  "vanguard",
       "summit",    "horizon",   "atlas",    "beacon",    "cascade",
       "dynamo",    "equinox",   "frontier", "granite",   "harbor",
@@ -52,12 +52,12 @@ Lexicon* BuildLexicon() {
       "yellowtail", "zenith",   "bluepeak", "copperline", "driftwood",
       "everglade", "foxglove",  "greystone", "hollybrook", "ivyline"};
 
-  lex->org_suffixes = {"corporation", "industries", "laboratories",
+  lex.org_suffixes = {"corporation", "industries", "laboratories",
                        "university",  "institute",  "commission",
                        "foundation",  "holdings",   "partners",
                        "associates",  "systems",    "group"};
 
-  lex->diseases = {
+  lex.diseases = {
       "cholera",       "malaria",    "influenza",     "dengue",
       "ebola",         "measles",    "tuberculosis",  "typhoid",
       "meningitis",    "hepatitis",  "polio",         "diphtheria",
@@ -67,7 +67,7 @@ Lexicon* BuildLexicon() {
       "norovirus",     "rotavirus",  "shigella",      "trichinosis",
       "cryptosporidium", "giardia"};
 
-  lex->charges = {
+  lex.charges = {
       "fraud",          "embezzlement", "bribery",       "perjury",
       "racketeering",   "extortion",    "larceny",       "arson",
       "burglary",       "smuggling",    "counterfeiting", "forgery",
@@ -76,7 +76,7 @@ Lexicon* BuildLexicon() {
       "obstruction of justice",         "identity theft", "vandalism",
       "trespassing",    "blackmail",    "theft"};
 
-  lex->careers = {
+  lex.careers = {
       "engineer",   "senator",    "professor",  "surgeon",    "architect",
       "journalist", "economist",  "diplomat",   "chemist",    "violinist",
       "novelist",   "astronaut",  "biologist",  "cartographer", "editor",
@@ -86,17 +86,17 @@ Lexicon* BuildLexicon() {
       "ambassador", "chancellor", "director",   "pianist",    "linguist",
       "pilot"};
 
-  lex->election_kinds = {
+  lex.election_kinds = {
       "presidential election", "mayoral election",   "senate race",
       "gubernatorial election", "parliamentary election",
       "congressional race",    "primary election",   "runoff election",
       "municipal election",    "referendum"};
 
-  lex->months = {"january", "february", "march",     "april",   "may",
+  lex.months = {"january", "february", "march",     "april",   "may",
                  "june",    "july",     "august",    "september",
                  "october", "november", "december"};
 
-  lex->common_words = {
+  lex.common_words = {
       "the",    "of",     "and",    "a",      "to",      "in",     "is",
       "was",    "for",    "on",     "that",   "by",      "with",   "as",
       "at",     "from",   "his",    "her",    "it",      "an",     "were",
@@ -112,8 +112,8 @@ Lexicon* BuildLexicon() {
       "region", "country", "national", "government", "public", "major",
       "news",   "today",  "yesterday", "residents", "authorities", "near"};
 
-  auto& subtopics = lex->subtopics;
-  auto& topical = lex->topical_attribute;
+  auto& subtopics = lex.subtopics;
+  auto& topical = lex.topical_attribute;
   topical[static_cast<size_t>(RelationId::kNaturalDisaster)] =
       EntityType::kNaturalDisaster;
   topical[static_cast<size_t>(RelationId::kManMadeDisaster)] =
@@ -308,7 +308,7 @@ Lexicon* BuildLexicon() {
        0.40},
   };
 
-  auto& triggers = lex->triggers;
+  auto& triggers = lex.triggers;
   triggers[static_cast<size_t>(RelationId::kPersonOrganization)] = {
       "joined",        "works for",     "was hired by", "leads",
       "is employed by", "resigned from", "chairs",       "founded"};
@@ -337,8 +337,8 @@ Lexicon* BuildLexicon() {
 }  // namespace
 
 const Lexicon& GetLexicon() {
-  static const Lexicon* kLexicon = BuildLexicon();
-  return *kLexicon;
+  static const Lexicon kLexicon = BuildLexicon();
+  return kLexicon;
 }
 
 }  // namespace ie

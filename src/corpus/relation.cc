@@ -8,8 +8,7 @@ const std::vector<RelationSpec>& AllRelations() {
   // Densities from Table 1. Extraction costs follow the paper where stated
   // (ND ~6 s/doc, PO ~0.01 s/doc); the others are assigned to preserve the
   // paper's "variety of extraction speeds" (Section 4).
-  static const std::vector<RelationSpec>* kRelations =
-      new std::vector<RelationSpec>{
+  static const std::vector<RelationSpec> kRelations{
           {RelationId::kPersonOrganization, "PO",
            "Person-Organization Affiliation", EntityType::kPerson,
            EntityType::kOrganization, 0.1695, 0.01, /*dense=*/true},
@@ -31,8 +30,8 @@ const std::vector<RelationSpec>& AllRelations() {
           {RelationId::kElectionWinner, "EW", "Election-Winner",
            EntityType::kElection, EntityType::kPerson, 0.0050, 2.0,
            /*dense=*/false},
-      };
-  return *kRelations;
+  };
+  return kRelations;
 }
 
 const RelationSpec& GetRelation(RelationId id) {

@@ -1,5 +1,6 @@
 #include "eval/experiment.h"
 
+#include <cstddef>
 #include <cstdio>
 
 namespace ie {
@@ -9,8 +10,9 @@ RunMetrics EvaluateRun(PipelineResult result, bool include_warmup) {
       include_warmup ? 0
                      : std::min(result.warmup_documents,
                                 result.processed_useful.size());
-  std::vector<uint8_t> suffix(result.processed_useful.begin() + skip,
-                              result.processed_useful.end());
+  std::vector<uint8_t> suffix(
+      result.processed_useful.begin() + static_cast<std::ptrdiff_t>(skip),
+      result.processed_useful.end());
   size_t warmup_useful = 0;
   for (size_t i = 0; i < skip; ++i) {
     warmup_useful += result.processed_useful[i];

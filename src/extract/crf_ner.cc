@@ -51,7 +51,7 @@ std::vector<uint8_t> CrfLiteNer::Viterbi(const Sentence& sentence) const {
     std::array<double, kNumBioLabels> unary{};
     for (size_t y = 0; y < kNumBioLabels; ++y) {
       double s = 0.0;
-      for (uint32_t f : features) s += unary_[y][f];
+      for (uint32_t f : features) s += static_cast<double>(unary_[y][f]);
       unary[y] = s;
     }
     if (pos == 0) {
@@ -65,7 +65,8 @@ std::vector<uint8_t> CrfLiteNer::Viterbi(const Sentence& sentence) const {
       double best = -1e300;
       uint8_t arg = 0;
       for (size_t y0 = 0; y0 < kNumBioLabels; ++y0) {
-        const double v = delta[pos - 1][y0] + transition_[y0][y];
+        const double v =
+            delta[pos - 1][y0] + static_cast<double>(transition_[y0][y]);
         if (v > best) {
           best = v;
           arg = static_cast<uint8_t>(y0);

@@ -41,7 +41,7 @@ void MemmNer::Scores(const std::vector<uint32_t>& features,
                      double scores[kNumBioLabels]) const {
   for (size_t y = 0; y < kNumBioLabels; ++y) {
     double s = 0.0;
-    for (uint32_t f : features) s += weights_[y][f];
+    for (uint32_t f : features) s += static_cast<double>(weights_[y][f]);
     scores[y] = s;
   }
 }

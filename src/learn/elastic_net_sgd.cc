@@ -57,7 +57,7 @@ void ElasticNetSgd::Refresh(uint32_t id) {
 double ElasticNetSgd::Score(const SparseVector& x) const {
   double s = 0.0;
   for (const auto& [id, value] : x) {
-    s += CurrentWeight(id) * value;
+    s += CurrentWeight(id) * static_cast<double>(value);
   }
   return s;
 }
@@ -73,7 +73,7 @@ void ElasticNetSgd::BeginStep() {
 void ElasticNetSgd::ApplyGradient(const SparseVector& x, double factor) {
   for (const auto& [id, value] : x) {
     Refresh(id);
-    values_[id] += factor * value;
+    values_[id] += factor * static_cast<double>(value);
   }
 }
 

@@ -35,7 +35,10 @@ float SparseVector::Get(uint32_t id) const {
 
 double SparseVector::L2NormSquared() const {
   double s = 0.0;
-  for (const Entry& e : entries_) s += static_cast<double>(e.second) * e.second;
+  for (const Entry& e : entries_) {
+    const double v = static_cast<double>(e.second);
+    s += v * v;
+  }
   return s;
 }
 
@@ -43,7 +46,7 @@ double SparseVector::L2Norm() const { return std::sqrt(L2NormSquared()); }
 
 double SparseVector::L1Norm() const {
   double s = 0.0;
-  for (const Entry& e : entries_) s += std::fabs(e.second);
+  for (const Entry& e : entries_) s += std::fabs(static_cast<double>(e.second));
   return s;
 }
 
@@ -66,7 +69,7 @@ double Dot(const SparseVector& a, const SparseVector& b) {
     } else if (ib->first < ia->first) {
       ++ib;
     } else {
-      s += static_cast<double>(ia->second) * ib->second;
+      s += static_cast<double>(ia->second) * static_cast<double>(ib->second);
       ++ia;
       ++ib;
     }
@@ -84,7 +87,7 @@ double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
 void WeightVector::AddScaled(const SparseVector& x, double factor) {
   if (!x.empty()) EnsureSize(x.DimensionBound());
   for (const auto& [id, value] : x) {
-    w_[id] += factor * value;
+    w_[id] += factor * static_cast<double>(value);
   }
 }
 
@@ -95,7 +98,7 @@ void WeightVector::Scale(double factor) {
 double WeightVector::Dot(const SparseVector& x) const {
   double s = 0.0;
   for (const auto& [id, value] : x) {
-    if (id < w_.size()) s += w_[id] * value;
+    if (id < w_.size()) s += w_[id] * static_cast<double>(value);
   }
   return s;
 }

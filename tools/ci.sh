@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Local CI: the gate every PR must pass. Mirrors .github/workflows/ci.yml
+# for machines without hosted CI.
+#
+#   tools/ci.sh          # full matrix: lint, format, default, strict,
+#                        # asan-ubsan, tsan
+#   tools/ci.sh quick    # lint + default build/test only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+MODE="${1:-full}"
+
+step() { echo; echo "━━━ $* ━━━"; }
+
+step "lint (tools/lint.py)"
+python3 tools/lint.py
+
+step "clang-format check (changed files)"
+if command -v clang-format >/dev/null 2>&1; then
+  base="$(git merge-base HEAD origin/main 2>/dev/null || git rev-parse 'HEAD~1' 2>/dev/null || echo '')"
+  changed=$(git diff --name-only --diff-filter=ACMR ${base:+$base} -- \
+      '*.cc' '*.h' '*.cpp' | grep -E '^(src|tests|bench|examples)/' || true)
+  if [ -n "$changed" ]; then
+    # shellcheck disable=SC2086
+    clang-format --dry-run --Werror $changed
+  else
+    echo "no changed C++ files"
+  fi
+else
+  echo "clang-format not installed; skipping (advisory)"
+fi
+
+step "default build + ctest (tier-1 verify)"
+cmake --preset default >/dev/null
+cmake --build build-default -j "$JOBS"
+ctest --preset default -j "$JOBS"
+
+if [ "$MODE" = "quick" ]; then
+  echo; echo "CI quick: OK"; exit 0
+fi
+
+step "strict warnings build (-Werror)"
+cmake --preset strict >/dev/null
+cmake --build build-strict -j "$JOBS"
+
+step "sanitizer matrix (asan-ubsan, tsan)"
+tools/run_sanitized_tests.sh
+
+echo; echo "CI full: OK"

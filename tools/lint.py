@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Project lint for adaptive_ie.
+
+Enforces repo-local correctness rules that compilers don't:
+
+  pragma-once        every header uses `#pragma once` (no ad-hoc include
+                     guards, no unguarded headers)
+  using-namespace    no `using namespace` at any scope in headers (pollutes
+                     every includer)
+  raw-random         no rand()/srand()/time(nullptr) seeding outside
+                     src/common/rng.* — all randomness goes through ie::Rng
+                     so runs stay reproducible
+  naked-new          no naked new/delete in src/ — use std::make_unique /
+                     containers / values (leaky singletons included; use a
+                     Meyers static instead)
+
+Suppress a finding on one line with `// NOLINT(ie-<rule>)`.
+
+Usage: tools/lint.py [paths...]   (defaults to src tests bench examples)
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+HEADER_EXTS = (".h", ".hpp", ".hh")
+SOURCE_EXTS = (".cc", ".cpp", ".cxx") + HEADER_EXTS
+
+DEFAULT_PATHS = ("src", "tests", "bench", "examples")
+
+# raw-random is allowed only in the RNG facade itself.
+RAW_RANDOM_ALLOWED = ("src/common/rng.h", "src/common/rng.cc")
+
+NOLINT_RE = re.compile(r"//\s*NOLINT\(ie-([a-z-]+)\)")
+
+
+def strip_comments_and_strings(text):
+    """Replaces comment and string-literal contents with spaces, preserving
+    line structure so reported line numbers stay accurate."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(quote)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def suppressed(raw_line, rule):
+    m = NOLINT_RE.search(raw_line)
+    return bool(m and m.group(1) == rule)
+
+
+def relpath(path):
+    return os.path.relpath(os.path.abspath(path), REPO_ROOT).replace(os.sep, "/")
+
+
+def check_file(path, findings):
+    rel = relpath(path)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+    except OSError as err:
+        findings.append((rel, 0, "io", str(err)))
+        return
+    raw_lines = raw.splitlines()
+    code = strip_comments_and_strings(raw)
+    code_lines = code.splitlines()
+    is_header = rel.endswith(HEADER_EXTS)
+
+    if is_header:
+        if "#pragma once" not in raw:
+            findings.append((rel, 1, "pragma-once",
+                             "header missing `#pragma once`"))
+        for idx, line in enumerate(code_lines, 1):
+            if re.search(r"#\s*ifndef\s+\w*_H_?\b", line):
+                if not suppressed(raw_lines[idx - 1], "pragma-once"):
+                    findings.append((rel, idx, "pragma-once",
+                                     "ad-hoc include guard; use `#pragma once`"))
+                break
+
+    for idx, line in enumerate(code_lines, 1):
+        raw_line = raw_lines[idx - 1] if idx <= len(raw_lines) else ""
+
+        if is_header and re.search(r"\busing\s+namespace\b", line):
+            if not suppressed(raw_line, "using-namespace"):
+                findings.append((rel, idx, "using-namespace",
+                                 "`using namespace` in a header"))
+
+        if rel not in RAW_RANDOM_ALLOWED:
+            if re.search(r"(?<![\w:.])s?rand\s*\(", line) or \
+               re.search(r"(?<![\w:.])time\s*\(\s*(nullptr|NULL|0)\s*\)", line):
+                if not suppressed(raw_line, "raw-random"):
+                    findings.append((rel, idx, "raw-random",
+                                     "raw rand()/time() seeding; use "
+                                     "ie::Rng (src/common/rng.h)"))
+
+        if rel.startswith("src/"):
+            new_m = re.search(r"(?<![\w.])new\b(?!\s*\()", line)
+            if new_m and not re.search(r"placement\s+new", line):
+                if not suppressed(raw_line, "naked-new"):
+                    findings.append((rel, idx, "naked-new",
+                                     "naked `new`; use std::make_unique or a "
+                                     "container/value"))
+            del_m = re.search(r"(?<![\w.])delete\b(?!\s*\[?\]?\s*;?\s*$)", line)
+            # `= delete` declarations and `operator delete` are fine.
+            if del_m and not re.search(r"=\s*delete\b|operator\s+delete", line):
+                if not suppressed(raw_line, "naked-new"):
+                    findings.append((rel, idx, "naked-new",
+                                     "naked `delete`; manage lifetime with "
+                                     "smart pointers/containers"))
+
+
+def collect_files(paths):
+    files = []
+    for p in paths:
+        ap = p if os.path.isabs(p) else os.path.join(REPO_ROOT, p)
+        if os.path.isfile(ap):
+            if ap.endswith(SOURCE_EXTS):
+                files.append(ap)
+        elif os.path.isdir(ap):
+            for dirpath, dirnames, filenames in os.walk(ap):
+                dirnames[:] = [d for d in dirnames
+                               if not d.startswith(("build", ".git"))]
+                for fn in sorted(filenames):
+                    if fn.endswith(SOURCE_EXTS):
+                        files.append(os.path.join(dirpath, fn))
+        else:
+            print(f"lint.py: no such path: {p}", file=sys.stderr)
+            return None
+    return files
+
+
+def main(argv):
+    paths = argv[1:] or [p for p in DEFAULT_PATHS
+                         if os.path.isdir(os.path.join(REPO_ROOT, p))]
+    files = collect_files(paths)
+    if files is None:
+        return 2
+    findings = []
+    for path in files:
+        check_file(path, findings)
+    for rel, line, rule, msg in findings:
+        print(f"{rel}:{line}: [{rule}] {msg}")
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s) in "
+              f"{len({f[0] for f in findings})} file(s)", file=sys.stderr)
+        return 1
+    print(f"lint.py: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
