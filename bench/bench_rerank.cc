@@ -1,0 +1,131 @@
+// Microbenchmark for the incremental delta re-rank engine (DESIGN.md §8):
+// the cost of re-ranking a large pending pool after a post-warmup model
+// update, with the factored-delta pass vs. an always-full rescore. The
+// interesting regime is the steady state of the adaptive loop — a warmed
+// model absorbing a small batch of observations between snapshots — where
+// the correction support is sparse and the delta pass beats the full
+// O(pool × features) pass by ≥2x (batch 1–2; the advantage shrinks as the
+// absorbed batch grows, until the density fallback takes over).
+//
+// Environment knobs (on top of bench_common.h's):
+//   IE_BENCH_POOL   pending-pool size for the engine (default 10000,
+//                   clamped to the corpus test split)
+#include <benchmark/benchmark.h>
+
+#include "harness.h"
+#include "pipeline/rerank_engine.h"
+#include "ranking/learned_rankers.h"
+
+using namespace ie;
+using namespace ie::bench;
+
+namespace {
+
+Harness* g_harness = nullptr;
+std::vector<DocId> g_pool;
+std::vector<LabeledExample> g_stream;
+
+void BuildPoolAndStream() {
+  const auto& test_pool = g_harness->test_pool();
+  const size_t pool_size =
+      std::min(EnvSize("IE_BENCH_POOL", 10000), test_pool.size());
+  g_pool.assign(test_pool.begin(), test_pool.begin() + pool_size);
+  const auto& outcomes = g_harness->world().outcome(RelationId::kPersonCharge);
+  PipelineContext ctx = g_harness->Context(RelationId::kPersonCharge);
+  for (DocId id : g_pool) {
+    g_stream.push_back(
+        {(*ctx.word_features)[id], outcomes.useful(id) ? 1 : -1});
+  }
+}
+
+template <typename Ranker>
+std::unique_ptr<Ranker> WarmedRanker() {
+  auto ranker = std::make_unique<Ranker>();
+  std::vector<LabeledExample> sample(
+      g_stream.begin(),
+      g_stream.begin() + std::min<size_t>(400, g_stream.size()));
+  ranker->TrainInitial(sample);
+  return ranker;
+}
+
+// One timed iteration = one model update: absorb `batch` observations
+// (untimed), then Rerank() the full pending pool. The engine is warmed with
+// an initial full pass so cached margins are valid, exactly like the
+// pipeline's post-warmup state.
+template <typename Ranker>
+void RunUpdateBench(benchmark::State& state, bool incremental) {
+  PipelineContext ctx = g_harness->Context(RelationId::kPersonCharge);
+  auto ranker = WarmedRanker<Ranker>();
+  RerankOptions options;
+  options.incremental = incremental;
+  RerankEngine engine(ranker.get(), ctx.word_features, options);
+  for (DocId doc : g_pool) engine.AddCandidate(doc);
+  engine.Rerank();  // initial full pass: caches margins + sign masses
+
+  const size_t batch = static_cast<size_t>(state.range(0));
+  size_t i = 400;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (size_t b = 0; b < batch; ++b) {
+      const auto& ex = g_stream[i++ % g_stream.size()];
+      ranker->Observe(ex.features, ex.label > 0);
+    }
+    state.ResumeTiming();
+    engine.Rerank();
+  }
+  state.counters["pool"] = static_cast<double>(g_pool.size());
+  state.counters["delta_passes"] =
+      static_cast<double>(engine.stats().delta_rescores);
+  state.counters["full_passes"] =
+      static_cast<double>(engine.stats().full_rescores);
+  state.counters["fallbacks"] =
+      static_cast<double>(engine.stats().density_fallbacks);
+  if (engine.stats().delta_rescores > 0) {
+    state.counters["touches_per_pass"] =
+        static_cast<double>(engine.stats().delta_posting_touches) /
+        static_cast<double>(engine.stats().delta_rescores);
+  }
+}
+
+void BM_RsvmUpdateFull(benchmark::State& state) {
+  RunUpdateBench<RsvmIeRanker>(state, /*incremental=*/false);
+}
+BENCHMARK(BM_RsvmUpdateFull)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+void BM_RsvmUpdateIncremental(benchmark::State& state) {
+  RunUpdateBench<RsvmIeRanker>(state, /*incremental=*/true);
+}
+BENCHMARK(BM_RsvmUpdateIncremental)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BaggUpdateFull(benchmark::State& state) {
+  RunUpdateBench<BaggIeRanker>(state, /*incremental=*/false);
+}
+BENCHMARK(BM_BaggUpdateFull)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+void BM_BaggUpdateIncremental(benchmark::State& state) {
+  RunUpdateBench<BaggIeRanker>(state, /*incremental=*/true);
+}
+BENCHMARK(BM_BaggUpdateIncremental)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Harness harness({RelationId::kPersonCharge}, NumDocs());
+  g_harness = &harness;
+  BuildPoolAndStream();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

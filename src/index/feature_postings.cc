@@ -1,0 +1,30 @@
+#include "index/feature_postings.h"
+
+namespace ie {
+
+namespace {
+const std::vector<FeaturePostingIndex::Posting>& EmptyPostings() {
+  static const std::vector<FeaturePostingIndex::Posting> empty;
+  return empty;
+}
+}  // namespace
+
+void FeaturePostingIndex::Add(uint32_t item, const SparseVector& features) {
+  ++num_items_;
+  if (features.empty()) return;
+  if (features.DimensionBound() > postings_.size()) {
+    postings_.resize(features.DimensionBound());
+  }
+  for (const auto& [id, value] : features) {
+    postings_[id].push_back(Posting{item, value});
+    ++total_postings_;
+  }
+}
+
+const std::vector<FeaturePostingIndex::Posting>& FeaturePostingIndex::Postings(
+    uint32_t feature) const {
+  if (feature >= postings_.size()) return EmptyPostings();
+  return postings_[feature];
+}
+
+}  // namespace ie

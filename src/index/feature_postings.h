@@ -1,0 +1,40 @@
+// Postings over featurized items: feature id -> (item handle, feature
+// value) pairs. The incremental re-rank engine builds one over the
+// candidate pool — keyed by its dense slot indices — and *scatters* sparse
+// weight corrections through it: applying correction (f, Δ) costs one fused
+// multiply-add per posting of f, so a delta pass costs exactly the
+// correction support's posting mass — every untouched document keeps its
+// cached margins (DESIGN.md §8). Storing the caller's dense handle rather
+// than the DocId keeps the scatter loop free of an id→slot indirection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "text/sparse_vector.h"
+
+namespace ie {
+
+class FeaturePostingIndex {
+ public:
+  struct Posting {
+    uint32_t item = 0;   // caller-chosen dense handle (e.g. a pool slot)
+    float value = 0.0f;  // the item's feature value, for scattering
+  };
+
+  /// Registers an item's features; each item must be added once.
+  void Add(uint32_t item, const SparseVector& features);
+
+  /// Postings of `feature` (empty when unseen), in Add order.
+  const std::vector<Posting>& Postings(uint32_t feature) const;
+
+  size_t TotalPostings() const { return total_postings_; }
+  size_t NumItems() const { return num_items_; }
+
+ private:
+  std::vector<std::vector<Posting>> postings_;  // indexed by feature id
+  size_t total_postings_ = 0;
+  size_t num_items_ = 0;
+};
+
+}  // namespace ie

@@ -42,6 +42,17 @@ class BaggingCommittee {
 
   size_t committee_size() const { return members_.size(); }
   const OnlineBinarySvm& member(size_t i) const { return members_[i]; }
+  /// Mutable access for scoring snapshots (CommitWeights).
+  OnlineBinarySvm& mutable_member(size_t i) { return members_[i]; }
+
+  /// Monotone version of the committee scoring function: the sum of the
+  /// members' SGD step counts (each step mutates that member's weights via
+  /// Pegasos decay; bias moves only alongside a step).
+  uint64_t version() const {
+    uint64_t v = 0;
+    for (const OnlineBinarySvm& member : members_) v += member.steps();
+    return v;
+  }
 
   /// Element-wise mean of the members' dense weights (used by Mod-C for
   /// model-level comparison).

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <unordered_set>
+#include <utility>
 
 #include "common/logging.h"
-#include "common/parallel.h"
 #include "common/timer.h"
 #include "learn/feature_selection.h"
+#include "pipeline/rerank_engine.h"
 #include "ranking/learned_rankers.h"
 #include "ranking/query_learning.h"
 
@@ -54,9 +56,12 @@ PipelineConfig PipelineConfig::Defaults(RankerKind ranker,
   // Paper values are 5 deg (RSVM-IE) and 30 deg (BAgg-IE); our models
   // drift less per observed document (smaller effective learning rate), so
   // the thresholds are recalibrated to preserve the paper's update-count
-  // regime (tens of updates, concentrated early).
+  // regime (tens of updates, concentrated early) while keeping the
+  // paper's per-ranker separation: the BAgg-IE committee mean swings
+  // through a wider angle per absorbed batch than the RSVM-IE weights, so
+  // its trigger sits higher.
   config.modc.alpha_degrees =
-      ranker == RankerKind::kBAggIE ? 2.0 : 2.0;
+      ranker == RankerKind::kBAggIE ? 6.0 : 2.0;
   return config;
 }
 
@@ -136,11 +141,13 @@ std::unique_ptr<UpdateDetector> MakeDetector(const PipelineConfig& config,
 }
 
 /// Support set of a model's non-zero weights (feature-churn accounting).
+/// Iterates the stored non-zeros directly instead of issuing a
+/// bounds-checked Get per vocabulary id.
 std::unordered_set<uint32_t> WeightSupport(const WeightVector& w) {
   std::unordered_set<uint32_t> support;
-  for (uint32_t id = 0; id < w.dimension(); ++id) {
-    if (std::abs(w.Get(id)) > 1e-9) support.insert(id);
-  }
+  w.ForEachNonZero([&support](uint32_t id, double value) {
+    if (std::abs(value) > 1e-9) support.insert(id);
+  });
   return support;
 }
 
@@ -208,10 +215,20 @@ PipelineResult AdaptiveExtractionPipeline::Run(
       WeightSupport(ranker->ModelWeights());
 
   // ---- Candidate pool --------------------------------------------------
+  // Candidates discovered before the engine exists (the initial pool) are
+  // staged in `remaining` and shuffled once for the deterministic
+  // tie-break; later discoveries (search-interface refreshes) go straight
+  // into the engine, which appends them to the same tie-break order.
   std::vector<DocId> remaining;
+  RerankEngine* engine_ptr = nullptr;
   std::unordered_set<DocId> in_pool(processed.begin(), processed.end());
   auto add_candidate = [&](DocId id) {
-    if (in_pool.insert(id).second) remaining.push_back(id);
+    if (!in_pool.insert(id).second) return;
+    if (engine_ptr != nullptr) {
+      engine_ptr->AddCandidate(id);
+    } else {
+      remaining.push_back(id);
+    }
   };
   if (config.access == AccessMode::kFullAccess) {
     for (DocId id : *context.pool) add_candidate(id);
@@ -235,45 +252,42 @@ PipelineResult AdaptiveExtractionPipeline::Run(
       (config.ranker == RankerKind::kBAggIE ||
        config.ranker == RankerKind::kRSVMIE);
 
-  auto rerank = [&](std::vector<DocId>& docs) {
+  RerankOptions rerank_options;
+  rerank_options.incremental = config.incremental_rerank && adaptive;
+  rerank_options.density_threshold = config.rerank_density_threshold;
+  rerank_options.scoring_threads = config.scoring_threads;
+  // RandomRanker's Score() draws from its rng: scoring must stay serial
+  // (and in insertion order) to keep runs deterministic.
+  rerank_options.allow_parallel_scoring =
+      config.ranker != RankerKind::kRandom;
+  std::function<double(DocId)> score_override;
+  if (config.ranker == RankerKind::kPerfect) {
+    score_override = [&context](DocId id) {
+      return context.outcomes->useful(id) ? 1.0 : 0.0;
+    };
+  }
+  RerankEngine engine(ranker.get(), context.word_features, rerank_options,
+                      std::move(score_override));
+  for (DocId id : remaining) engine.AddCandidate(id);
+  engine_ptr = &engine;
+
+  auto rerank = [&]() {
     // With worker threads, thread-CPU time misses the workers; fall back
     // to wall time for the overhead accounting in that configuration.
     CpuTimer cpu_timer;
     WallTimer wall_timer;
-    ranker->SnapshotForScoring();
-    std::vector<std::pair<float, DocId>> scored(docs.size());
-    auto score_one = [&](size_t i) {
-      const DocId id = docs[i];
-      double score;
-      if (config.ranker == RankerKind::kPerfect) {
-        score = context.outcomes->useful(id) ? 1.0 : 0.0;
-      } else {
-        score = ranker->Score((*context.word_features)[id]);
-      }
-      scored[i] = {static_cast<float>(score), id};
-    };
-    if (config.scoring_threads > 1 &&
-        config.ranker != RankerKind::kRandom) {
-      ParallelFor(docs.size(), config.scoring_threads, score_one);
-    } else {
-      for (size_t i = 0; i < docs.size(); ++i) score_one(i);
-    }
-    std::stable_sort(scored.begin(), scored.end(),
-                     [](const auto& a, const auto& b) {
-                       return a.first > b.first;
-                     });
-    for (size_t i = 0; i < docs.size(); ++i) docs[i] = scored[i].second;
+    engine.Rerank();
     result.ranking_cpu_seconds += config.scoring_threads > 1
                                       ? wall_timer.ElapsedSeconds()
                                       : cpu_timer.ElapsedSeconds();
   };
-  rerank(remaining);
+  rerank();
 
   // ---- Extraction loop ---------------------------------------------------
   std::vector<LabeledExample> buffer;
-  size_t cursor = 0;
-  while (cursor < remaining.size()) {
-    const DocId id = remaining[cursor++];
+  DocId next_doc = 0;
+  while (engine.PopNext(&next_doc)) {
+    const DocId id = next_doc;
     LabeledExample example = process_doc(id);
     const bool useful = example.label > 0;
 
@@ -283,9 +297,15 @@ PipelineResult AdaptiveExtractionPipeline::Run(
       triggered = detector->Observe(example.features, useful, *ranker);
       result.detector_cpu_seconds += timer.ElapsedSeconds();
     }
-    buffer.push_back(std::move(example));
+    // Non-adaptive runs never absorb the buffer; buffering there would
+    // accumulate the whole pool's feature vectors for nothing.
+    if (adaptive) {
+      buffer.push_back(std::move(example));
+      result.peak_buffer_examples =
+          std::max(result.peak_buffer_examples, buffer.size());
+    }
 
-    if (triggered && adaptive && cursor < remaining.size()) {
+    if (triggered && adaptive && engine.pending() > 0) {
       {
         CpuTimer timer;
         for (const LabeledExample& ex : buffer) {
@@ -324,10 +344,7 @@ PipelineResult AdaptiveExtractionPipeline::Run(
         }
       }
 
-      remaining.erase(remaining.begin(),
-                      remaining.begin() + static_cast<long>(cursor));
-      cursor = 0;
-      rerank(remaining);
+      rerank();
     }
   }
 
@@ -341,6 +358,12 @@ PipelineResult AdaptiveExtractionPipeline::Run(
     rng.Shuffle(leftovers);
     for (DocId id : leftovers) process_doc(id);
   }
+
+  const RerankStats& rerank_stats = engine.stats();
+  result.full_rescores = rerank_stats.full_rescores;
+  result.delta_rescores = rerank_stats.delta_rescores;
+  result.rerank_density_fallbacks = rerank_stats.density_fallbacks;
+  result.delta_documents_rescored = rerank_stats.delta_documents_rescored;
 
   result.final_model_features = ranker->NonZeroFeatureCount();
   return result;

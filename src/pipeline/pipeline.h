@@ -54,14 +54,25 @@ struct PipelineConfig {
   /// ParallelFor and reports re-rank overhead in wall time).
   size_t scoring_threads = 1;
 
+  /// Incremental delta re-ranking (see pipeline/rerank_engine.h): on model
+  /// updates, advance cached per-document margins through the factored
+  /// weight delta instead of rescoring the whole remaining pool. Orders
+  /// are identical in both modes; false forces always-full rescoring.
+  bool incremental_rerank = true;
+  /// Density fallback threshold (RerankOptions::density_threshold): delta
+  /// passes whose correction posting mass exceeds this multiple of
+  /// components × pending postings run as full rescores instead.
+  double rerank_density_threshold = 1.0;
+
   /// Search-interface scenario parameters.
   size_t search_initial_queries = 20;
   size_t search_initial_depth = 400;
   size_t search_refresh_features = 100;  // paper: top-100 features
   size_t search_refresh_depth = 100;
 
-  /// Builds a config with the paper's per-ranker detector defaults
-  /// (Mod-C α: 5° for RSVM-IE, 30° for BAgg-IE).
+  /// Builds a config with per-ranker detector defaults. Mod-C α keeps the
+  /// paper's ordering (BAgg-IE above RSVM-IE; paper: 30° vs 5°) at
+  /// thresholds recalibrated for these models' drift (6° vs 2°).
   static PipelineConfig Defaults(RankerKind ranker, SamplerKind sampler,
                                  UpdateKind update, uint64_t seed);
 };

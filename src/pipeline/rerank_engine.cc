@@ -1,0 +1,232 @@
+#include "pipeline/rerank_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+
+namespace ie {
+
+namespace {
+
+constexpr uint32_t kNoSlot = 0xffffffffu;
+
+}  // namespace
+
+RerankEngine::RerankEngine(DocumentRanker* ranker,
+                           const std::vector<SparseVector>* features,
+                           RerankOptions options,
+                           std::function<double(DocId)> score_override)
+    : ranker_(ranker),
+      features_(features),
+      options_(options),
+      score_override_(std::move(score_override)) {
+  IE_CHECK(features_ != nullptr);
+  IE_CHECK(ranker_ != nullptr || score_override_ != nullptr);
+  if (ranker_ != nullptr && score_override_ == nullptr) {
+    components_ = ranker_->ScoreComponentCount();
+  }
+  if (!options_.incremental) components_ = 0;
+}
+
+void RerankEngine::AddCandidate(DocId doc) {
+  if (doc >= slot_of_doc_.size()) {
+    slot_of_doc_.resize(doc + 1, kNoSlot);
+  }
+  IE_CHECK(slot_of_doc_[doc] == kNoSlot);
+  const uint32_t slot = static_cast<uint32_t>(slots_.size());
+  slot_of_doc_[doc] = slot;
+  slots_.push_back(Slot{doc, 0.0f});
+  processed_.push_back(0);
+  if (components_ > 0) {
+    margins_.resize(slots_.size() * components_, 0.0);
+    sign_mass_.resize(slots_.size() * components_, 0.0);
+    // Postings are keyed by slot, not DocId: the correction scatter then
+    // lands directly on the margin rows without an id→slot indirection.
+    posting_index_.Add(slot, (*features_)[doc]);
+  }
+  ++pending_;
+  pending_postings_ += (*features_)[doc].size();
+}
+
+std::vector<uint32_t> RerankEngine::PendingSlots() const {
+  std::vector<uint32_t> out;
+  out.reserve(pending_);
+  for (uint32_t s = 0; s < slots_.size(); ++s) {
+    if (!processed_[s]) out.push_back(s);
+  }
+  return out;
+}
+
+void RerankEngine::ScoreSlotFull(uint32_t slot) {
+  const SparseVector& x = (*features_)[slots_[slot].doc];
+  if (components_ > 0) {
+    double* m = &margins_[slot * components_];
+    double* z = &sign_mass_[slot * components_];
+    for (size_t c = 0; c < components_; ++c) {
+      ranker_->ComponentMarginAndSignMass(c, x, &m[c], &z[c]);
+    }
+    slots_[slot].score = static_cast<float>(ranker_->CombineMargins(m));
+  } else if (score_override_ != nullptr) {
+    slots_[slot].score = static_cast<float>(score_override_(slots_[slot].doc));
+  } else {
+    slots_[slot].score = static_cast<float>(ranker_->Score(x));
+  }
+}
+
+void RerankEngine::FullRescore() {
+  const std::vector<uint32_t> pending = PendingSlots();
+  auto score_one = [&](size_t i) { ScoreSlotFull(pending[i]); };
+  if (options_.allow_parallel_scoring && options_.scoring_threads > 1) {
+    ParallelFor(pending.size(), options_.scoring_threads, score_one);
+  } else {
+    for (size_t i = 0; i < pending.size(); ++i) score_one(i);
+  }
+  scored_upto_ = static_cast<uint32_t>(slots_.size());
+  margins_valid_ = components_ > 0;
+  ++stats_.full_rescores;
+}
+
+bool RerankEngine::TryDeltaRescore() {
+  if (components_ == 0 || !margins_valid_ || ranker_ == nullptr ||
+      !ranker_->HasSnapshotDelta()) {
+    return false;
+  }
+  std::vector<FactoredWeightDelta> deltas;
+  deltas.reserve(components_);
+  size_t posting_touches = 0;
+  for (size_t c = 0; c < components_; ++c) {
+    deltas.push_back(ranker_->ComponentSnapshotDelta(c));
+    for (const auto& [feature, change] :
+         deltas.back().margin_correction.entries) {
+      (void)change;
+      posting_touches += posting_index_.Postings(feature).size();
+    }
+    for (const auto& [feature, change] :
+         deltas.back().sign_correction.entries) {
+      (void)change;
+      posting_touches += posting_index_.Postings(feature).size();
+    }
+  }
+  // Density fallback (see RerankOptions::density_threshold): compare the
+  // delta pass's posting scatters against the full pass's per-component
+  // feature walks over the pending pool.
+  if (static_cast<double>(posting_touches) >
+      options_.density_threshold * static_cast<double>(components_) *
+          static_cast<double>(pending_postings_)) {
+    ++stats_.density_fallbacks;
+    return false;
+  }
+
+  const std::vector<uint32_t> pending = PendingSlots();
+
+  // Pass 1 — uniform advance: m ← scale·m − penalty·z for every pending
+  // cached document (two multiplies per component). Each index writes only
+  // its own slot, so ParallelFor stays deterministic.
+  auto advance_one = [&](size_t i) {
+    const uint32_t slot = pending[i];
+    if (slot >= scored_upto_) return;  // fresh: scored from scratch in pass 3
+    double* m = &margins_[slot * components_];
+    const double* z = &sign_mass_[slot * components_];
+    for (size_t c = 0; c < components_; ++c) {
+      const FactoredWeightDelta& d = deltas[c];
+      if (d.identity()) continue;
+      m[c] = d.scale * m[c] - d.penalty * z[c];
+    }
+  };
+  if (options_.allow_parallel_scoring && options_.scoring_threads > 1) {
+    ParallelFor(pending.size(), options_.scoring_threads, advance_one);
+  } else {
+    for (size_t i = 0; i < pending.size(); ++i) advance_one(i);
+  }
+
+  // Pass 2 — correction scatter: one FMA per (corrected feature, posting).
+  // Serial on purpose: scattering writes race on slots, and the fixed
+  // component/feature/posting iteration order keeps runs deterministic.
+  // This pass is the entire sparse cost of the update — `posting_touches`
+  // fused multiply-adds.
+  std::vector<uint8_t> corrected(slots_.size(), 0);
+  size_t corrected_count = 0;
+  for (size_t c = 0; c < components_; ++c) {
+    auto scatter = [&](const WeightDelta& correction,
+                       std::vector<double>& target) {
+      for (const auto& [feature, change] : correction.entries) {
+        for (const FeaturePostingIndex::Posting& posting :
+             posting_index_.Postings(feature)) {
+          const uint32_t slot = posting.item;
+          if (slot >= scored_upto_ || processed_[slot]) continue;
+          target[slot * components_ + c] +=
+              change * static_cast<double>(posting.value);
+          if (!corrected[slot]) {
+            corrected[slot] = 1;
+            ++corrected_count;
+          }
+        }
+      }
+    };
+    scatter(deltas[c].margin_correction, margins_);
+    scatter(deltas[c].sign_correction, sign_mass_);
+  }
+
+  // Pass 3 — recombine every pending document (snapshot biases may have
+  // moved even where margins did not) and score new candidates fresh.
+  auto combine_one = [&](size_t i) {
+    const uint32_t slot = pending[i];
+    if (slot >= scored_upto_) {
+      ScoreSlotFull(slot);
+    } else {
+      slots_[slot].score = static_cast<float>(
+          ranker_->CombineMargins(&margins_[slot * components_]));
+    }
+  };
+  if (options_.allow_parallel_scoring && options_.scoring_threads > 1) {
+    ParallelFor(pending.size(), options_.scoring_threads, combine_one);
+  } else {
+    for (size_t i = 0; i < pending.size(); ++i) combine_one(i);
+  }
+
+  scored_upto_ = static_cast<uint32_t>(slots_.size());
+  ++stats_.delta_rescores;
+  stats_.delta_documents_rescored += corrected_count;
+  stats_.delta_posting_touches += posting_touches;
+  return true;
+}
+
+void RerankEngine::Rerank() {
+  if (ranker_ != nullptr) ranker_->SnapshotForScoring();
+  if (!TryDeltaRescore()) FullRescore();
+  RebuildHeap();
+}
+
+// Strict total order for the frontier heap: higher score first, then
+// earlier insertion (lower slot) — the deterministic tie-break that makes
+// heap selection reproduce the stable sort it replaced. std::*_heap expect
+// a less-than whose "largest" element is the heap top.
+bool RerankEngine::HeapEntryLess(const HeapEntry& a, const HeapEntry& b) {
+  if (a.score != b.score) return a.score < b.score;
+  return a.slot > b.slot;
+}
+
+void RerankEngine::RebuildHeap() {
+  heap_.clear();
+  heap_.reserve(pending_);
+  for (uint32_t s = 0; s < slots_.size(); ++s) {
+    if (!processed_[s]) heap_.push_back(HeapEntry{slots_[s].score, s});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), HeapEntryLess);
+}
+
+bool RerankEngine::PopNext(DocId* doc) {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), HeapEntryLess);
+  const HeapEntry top = heap_.back();
+  heap_.pop_back();
+  IE_CHECK(!processed_[top.slot]);
+  processed_[top.slot] = 1;
+  --pending_;
+  pending_postings_ -= (*features_)[slots_[top.slot].doc].size();
+  *doc = slots_[top.slot].doc;
+  return true;
+}
+
+}  // namespace ie

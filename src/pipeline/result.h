@@ -33,6 +33,19 @@ struct PipelineResult {
   /// Measured CPU time spent training/scoring/sorting (ranking overhead).
   double ranking_cpu_seconds = 0.0;
 
+  /// Re-rank engine telemetry (see RerankStats in pipeline/rerank_engine.h):
+  /// full scoring passes, incremental delta passes, delta passes abandoned
+  /// as too dense, and documents touched across all delta passes.
+  size_t full_rescores = 0;
+  size_t delta_rescores = 0;
+  size_t rerank_density_fallbacks = 0;
+  size_t delta_documents_rescored = 0;
+
+  /// Peak size of the between-updates example buffer. Non-adaptive runs
+  /// skip buffering entirely, so this stays 0 for them (regression guard
+  /// against re-introducing unbounded feature-vector accumulation).
+  size_t peak_buffer_examples = 0;
+
   /// Non-zero feature count of the final model (0 for rankers without one).
   size_t final_model_features = 0;
   /// Features added/removed across updates (feature-churn telemetry).

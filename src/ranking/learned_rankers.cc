@@ -1,6 +1,7 @@
 #include "ranking/learned_rankers.h"
 
 #include <cmath>
+#include <utility>
 
 namespace ie {
 
@@ -23,19 +24,67 @@ void RsvmIeRanker::Observe(const SparseVector& features, bool useful) {
   svm_.Observe(features, useful);
 }
 
-void BaggIeRanker::SnapshotForScoring() {
-  snapshots_.clear();
-  snapshot_biases_.clear();
-  for (size_t i = 0; i < committee_.committee_size(); ++i) {
-    snapshots_.push_back(committee_.member(i).DenseWeights());
-    snapshot_biases_.push_back(committee_.member(i).bias());
+void RsvmIeRanker::SnapshotForScoring() {
+  const uint64_t version = svm_.version();
+  if (has_snapshot_ && snapshot_version_ == version) {
+    // Model unchanged since the last snapshot: the delta is the identity.
+    snapshot_delta_ = {};
+    has_delta_ = true;
+    return;
   }
+  // Committing pins every weight in place, so the change since the previous
+  // snapshot factors into (decay scale, ℓ1 penalty, sparse corrections);
+  // DenseWeights after the commit is a plain copy of the committed state.
+  FactoredWeightDelta delta = svm_.CommitWeights();
+  snapshot_ = svm_.DenseWeights();
+  if (has_snapshot_) {
+    snapshot_delta_ = std::move(delta);
+    has_delta_ = true;
+  }
+  snapshot_version_ = version;
+  has_snapshot_ = true;
+}
+
+void BaggIeRanker::SnapshotForScoring() {
+  const uint64_t version = committee_.version();
+  if (has_snapshot_ && snapshot_version_ == version) {
+    snapshot_deltas_.assign(snapshots_.size(), FactoredWeightDelta{});
+    has_delta_ = true;
+    return;
+  }
+  const size_t members = committee_.committee_size();
+  std::vector<FactoredWeightDelta> deltas;
+  deltas.reserve(members);
+  snapshots_.resize(members);
+  snapshot_biases_.resize(members);
+  for (size_t i = 0; i < members; ++i) {
+    deltas.push_back(committee_.mutable_member(i).CommitWeights());
+    snapshots_[i] = committee_.member(i).DenseWeights();
+    snapshot_biases_[i] = committee_.member(i).bias();
+  }
+  if (has_snapshot_) {
+    snapshot_deltas_ = std::move(deltas);
+    has_delta_ = true;
+  }
+  snapshot_version_ = version;
+  has_snapshot_ = true;
 }
 
 double BaggIeRanker::Score(const SparseVector& features) const {
   double s = 0.0;
   for (size_t i = 0; i < snapshots_.size(); ++i) {
     const double margin = snapshots_[i].Dot(features) + snapshot_biases_[i];
+    s += 1.0 / (1.0 + std::exp(-margin));
+  }
+  return s;
+}
+
+double BaggIeRanker::CombineMargins(const double* margins) const {
+  // Must mirror Score() operation-for-operation: cached-margin scores have
+  // to agree with direct scoring to the last bit.
+  double s = 0.0;
+  for (size_t i = 0; i < snapshots_.size(); ++i) {
+    const double margin = margins[i] + snapshot_biases_[i];
     s += 1.0 / (1.0 + std::exp(-margin));
   }
   return s;

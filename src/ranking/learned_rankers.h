@@ -31,9 +31,29 @@ class RsvmIeRanker : public DocumentRanker {
 
   void TrainInitial(const std::vector<LabeledExample>& sample) override;
   void Observe(const SparseVector& features, bool useful) override;
-  void SnapshotForScoring() override { snapshot_ = svm_.DenseWeights(); }
+  void SnapshotForScoring() override;
   double Score(const SparseVector& features) const override {
     return snapshot_.Dot(features);
+  }
+  uint64_t ModelVersion() const override { return svm_.version(); }
+  size_t ScoreComponentCount() const override { return 1; }
+  double ComponentMargin(size_t, const SparseVector& x) const override {
+    return snapshot_.Dot(x);
+  }
+  double ComponentSignMass(size_t, const SparseVector& x) const override {
+    return snapshot_.SignMass(x);
+  }
+  void ComponentMarginAndSignMass(size_t, const SparseVector& x,
+                                  double* margin,
+                                  double* sign_mass) const override {
+    snapshot_.DotAndSignMass(x, margin, sign_mass);
+  }
+  double CombineMargins(const double* margins) const override {
+    return margins[0];
+  }
+  bool HasSnapshotDelta() const override { return has_delta_; }
+  FactoredWeightDelta ComponentSnapshotDelta(size_t) const override {
+    return snapshot_delta_;
   }
   WeightVector ModelWeights() const override { return svm_.DenseWeights(); }
   std::unique_ptr<DocumentRanker> Clone() const override {
@@ -46,6 +66,10 @@ class RsvmIeRanker : public DocumentRanker {
   RsvmIeOptions options_;
   OnlineRankSvm svm_;
   WeightVector snapshot_;
+  FactoredWeightDelta snapshot_delta_;  // latest snapshot vs the one before
+  uint64_t snapshot_version_ = 0;
+  bool has_snapshot_ = false;
+  bool has_delta_ = false;
 };
 
 struct BaggIeOptions {
@@ -75,6 +99,26 @@ class BaggIeRanker : public DocumentRanker {
   }
   void SnapshotForScoring() override;
   double Score(const SparseVector& features) const override;
+  uint64_t ModelVersion() const override { return committee_.version(); }
+  size_t ScoreComponentCount() const override {
+    return committee_.committee_size();
+  }
+  double ComponentMargin(size_t c, const SparseVector& x) const override {
+    return snapshots_[c].Dot(x);
+  }
+  double ComponentSignMass(size_t c, const SparseVector& x) const override {
+    return snapshots_[c].SignMass(x);
+  }
+  void ComponentMarginAndSignMass(size_t c, const SparseVector& x,
+                                  double* margin,
+                                  double* sign_mass) const override {
+    snapshots_[c].DotAndSignMass(x, margin, sign_mass);
+  }
+  double CombineMargins(const double* margins) const override;
+  bool HasSnapshotDelta() const override { return has_delta_; }
+  FactoredWeightDelta ComponentSnapshotDelta(size_t c) const override {
+    return snapshot_deltas_[c];
+  }
   WeightVector ModelWeights() const override {
     return committee_.MeanDenseWeights();
   }
@@ -91,6 +135,11 @@ class BaggIeRanker : public DocumentRanker {
   BaggingCommittee committee_;
   std::vector<WeightVector> snapshots_;
   std::vector<double> snapshot_biases_;
+  // Per member, latest snapshot vs the one before it.
+  std::vector<FactoredWeightDelta> snapshot_deltas_;
+  uint64_t snapshot_version_ = 0;
+  bool has_snapshot_ = false;
+  bool has_delta_ = false;
 };
 
 }  // namespace ie

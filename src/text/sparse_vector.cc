@@ -77,6 +77,24 @@ double Dot(const SparseVector& a, const SparseVector& b) {
   return s;
 }
 
+double DeltaDot(const WeightDelta& delta, const SparseVector& x) {
+  double s = 0.0;
+  auto id_ = delta.entries.begin();
+  auto ix = x.begin();
+  while (id_ != delta.entries.end() && ix != x.end()) {
+    if (id_->first < ix->first) {
+      ++id_;
+    } else if (ix->first < id_->first) {
+      ++ix;
+    } else {
+      s += id_->second * static_cast<double>(ix->second);
+      ++id_;
+      ++ix;
+    }
+  }
+  return s;
+}
+
 double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
   const double na = a.L2Norm();
   const double nb = b.L2Norm();
@@ -101,6 +119,34 @@ double WeightVector::Dot(const SparseVector& x) const {
     if (id < w_.size()) s += w_[id] * static_cast<double>(value);
   }
   return s;
+}
+
+double WeightVector::SignMass(const SparseVector& x) const {
+  double s = 0.0;
+  for (const auto& [id, value] : x) {
+    if (id >= w_.size() || w_[id] == 0.0) continue;
+    const double sign = w_[id] > 0.0 ? 1.0 : -1.0;
+    s += sign * static_cast<double>(value);
+  }
+  return s;
+}
+
+void WeightVector::DotAndSignMass(const SparseVector& x, double* dot,
+                                  double* sign_mass) const {
+  // Single walk over x; each accumulator sees the exact operation sequence
+  // of its standalone counterpart, so the results are bitwise identical to
+  // Dot(x) / SignMass(x) — the incremental re-rank engine depends on that.
+  double m = 0.0;
+  double z = 0.0;
+  for (const auto& [id, value] : x) {
+    if (id >= w_.size()) continue;
+    const double w = w_[id];
+    m += w * static_cast<double>(value);
+    if (w == 0.0) continue;
+    z += (w > 0.0 ? 1.0 : -1.0) * static_cast<double>(value);
+  }
+  *dot = m;
+  *sign_mass = z;
 }
 
 double WeightVector::L2NormSquared() const {
@@ -144,6 +190,19 @@ double WeightVector::Cosine(const WeightVector& a, const WeightVector& b) {
   const double nb = std::sqrt(b.L2NormSquared());
   if (na == 0.0 || nb == 0.0) return 0.0;
   return dot / (na * nb);
+}
+
+WeightDelta WeightVector::DeltaFrom(const WeightVector& prev) const {
+  WeightDelta delta;
+  const size_t n = std::max(w_.size(), prev.w_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double now_i = i < w_.size() ? w_[i] : 0.0;
+    const double prev_i = i < prev.w_.size() ? prev.w_[i] : 0.0;
+    if (now_i != prev_i) {
+      delta.entries.emplace_back(static_cast<uint32_t>(i), now_i - prev_i);
+    }
+  }
+  return delta;
 }
 
 SparseVector WeightVector::ToSparse(double eps) const {

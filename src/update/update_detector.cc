@@ -76,6 +76,7 @@ void FeatSDetector::OnModelUpdated(
     margin_ = decisions[idx];
   }
   recent_inlier_.clear();
+  inlier_sum_ = 0;
   since_check_ = 0;
 }
 
@@ -83,16 +84,17 @@ bool FeatSDetector::Observe(const SparseVector& features, bool useful,
                             const DocumentRanker& ranker) {
   (void)useful;
   (void)ranker;
-  recent_inlier_.push_back(svm_.IsInlier(features, margin_) ? 1 : 0);
+  const uint8_t inlier = svm_.IsInlier(features, margin_) ? 1 : 0;
+  recent_inlier_.push_back(inlier);
+  inlier_sum_ += inlier;
   if (recent_inlier_.size() > options_.window) {
-    recent_inlier_.erase(recent_inlier_.begin());
+    inlier_sum_ -= recent_inlier_.front();
+    recent_inlier_.pop_front();
   }
   if (++since_check_ < options_.min_docs_between_checks) return false;
   since_check_ = 0;
   if (recent_inlier_.empty()) return false;
-  size_t inliers = 0;
-  for (uint8_t b : recent_inlier_) inliers += b;
-  const double s = static_cast<double>(inliers) /
+  const double s = static_cast<double>(inlier_sum_) /
                    static_cast<double>(recent_inlier_.size());
   last_shift_ = 1.0 - s;
   return last_shift_ > options_.threshold;

@@ -11,6 +11,7 @@
 // ranking model and a shadow model trained on a fraction ρ of recent docs).
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -173,7 +174,8 @@ class FeatSDetector : public UpdateDetector {
  private:
   FeatSOptions options_;
   OneClassSvm svm_;
-  std::vector<uint8_t> recent_inlier_;  // ring buffer semantics via erase
+  std::deque<uint8_t> recent_inlier_;  // sliding window, O(1) push/evict
+  size_t inlier_sum_ = 0;              // running count of inliers in window
   size_t since_check_ = 0;
   double last_shift_ = 0.0;
   double margin_ = 0.0;

@@ -36,6 +36,12 @@ cmake --preset default >/dev/null
 cmake --build build-default -j "$JOBS"
 ctest --preset default -j "$JOBS"
 
+step "bench_rerank smoke (incremental re-rank engine)"
+# One iteration per configuration on a small corpus: verifies the delta
+# passes engage (counters) and the bench harness itself stays healthy.
+IE_BENCH_DOCS=4000 ./build-default/bench/bench_rerank \
+    --benchmark_min_time=1x --benchmark_filter='/(1|8)$'
+
 if [ "$MODE" = "quick" ]; then
   echo; echo "CI quick: OK"; exit 0
 fi
