@@ -6,10 +6,12 @@
 //   IE_BENCH_SEEDS  runs per configuration (default 3; paper uses 5)
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
@@ -28,6 +30,13 @@ inline size_t EnvSize(const char* name, size_t fallback) {
 
 inline size_t NumDocs() { return EnvSize("IE_BENCH_DOCS", 20000); }
 inline size_t NumSeeds() { return EnvSize("IE_BENCH_SEEDS", 3); }
+
+/// Threads for setup-phase parallel work (outcome computation, pool
+/// featurization). Results are identical to serial; this only shortens
+/// bench setup on multi-core hosts.
+inline size_t SetupThreads() {
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
 
 /// Corpus + trained systems + cached outcomes for a set of relations.
 struct World {
@@ -68,8 +77,8 @@ inline World BuildWorld(const std::vector<RelationId>& relations,
     timer.Restart();
     world.systems.push_back(
         TrainExtractionSystem(relation, world.corpus.shared_vocab()));
-    world.outcomes.push_back(
-        ExtractionOutcomes::Compute(*world.systems.back(), world.corpus));
+    world.outcomes.push_back(ExtractionOutcomes::Compute(
+        *world.systems.back(), world.corpus, SetupThreads()));
     std::fprintf(stderr, "[setup] %s extractor trained+run (%.1fs)\n",
                  GetRelation(relation).code.c_str(),
                  timer.ElapsedSeconds());

@@ -1,0 +1,178 @@
+// Throughput bench for the speculative parallel extraction executor
+// (DESIGN.md §9): end-to-end adaptive runs with *live* per-document
+// extraction (PipelineContext::extraction_system) at several
+// extract_threads settings, reporting docs/sec and speedup over the serial
+// run and re-proving byte-identical output along the way.
+//
+// Not a google-benchmark microbench: one run per thread count is the
+// measurement (the unit of work is the whole pipeline), and results are
+// emitted as JSON for CI trend tracking.
+//
+//   bench_extract [--threads=1,2,4,8] [--out=BENCH_extract.json]
+//
+// Environment knobs (bench_common.h): IE_BENCH_DOCS (default here: 10000).
+//
+// The ≥2.5x speedup acceptance check at 8 threads only runs when the host
+// actually has 8 hardware threads; on smaller machines it reports SKIP
+// (the determinism checks still run — threads interleave on any core
+// count).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "pipeline/pipeline.h"
+
+using namespace ie;
+using namespace ie::bench;
+
+namespace {
+
+struct RunStats {
+  size_t threads = 0;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  double docs_per_sec = 0.0;
+  double speedup = 1.0;
+  size_t hits = 0;
+  size_t waits = 0;
+  size_t misses = 0;
+  size_t cancelled = 0;
+};
+
+std::vector<size_t> ParseThreadList(const std::string& csv) {
+  std::vector<size_t> threads;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const long value = std::atol(csv.substr(pos, comma - pos).c_str());
+    if (value > 0) threads.push_back(static_cast<size_t>(value));
+    pos = comma + 1;
+  }
+  return threads;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  std::string out_path = "BENCH_extract.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      thread_counts = ParseThreadList(arg.substr(10));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (thread_counts.empty() || thread_counts.front() != 1) {
+    // The serial run is the speedup baseline and determinism reference.
+    thread_counts.insert(thread_counts.begin(), 1);
+  }
+
+  const size_t num_docs = EnvSize("IE_BENCH_DOCS", 10000);
+  Harness harness({RelationId::kPersonCharge}, num_docs);
+  PipelineContext context = harness.Context(RelationId::kPersonCharge);
+  // Live extraction: run the real IE system per document so the executor
+  // parallelizes real CPU, not the simulated-cost replay.
+  context.extraction_system =
+      &harness.world().system(RelationId::kPersonCharge);
+
+  PipelineConfig config = PipelineConfig::Defaults(
+      RankerKind::kRSVMIE, SamplerKind::kSRS, UpdateKind::kModC, 17);
+  config.sample_size = harness.SampleSize();
+
+  std::vector<RunStats> runs;
+  std::vector<DocId> reference_order;
+  bool identical = true;
+  for (size_t threads : thread_counts) {
+    config.extract_threads = threads;
+    const PipelineResult result =
+        AdaptiveExtractionPipeline::Run(context, config);
+    RunStats stats;
+    stats.threads = threads;
+    stats.wall_seconds = result.extract_wall_seconds;
+    stats.cpu_seconds = result.extract_cpu_seconds;
+    stats.docs_per_sec =
+        result.extract_wall_seconds > 0.0
+            ? static_cast<double>(result.processing_order.size()) /
+                  result.extract_wall_seconds
+            : 0.0;
+    stats.hits = result.speculative_hits;
+    stats.waits = result.speculative_waits;
+    stats.misses = result.speculative_misses;
+    stats.cancelled = result.speculative_cancelled;
+    if (threads == 1) {
+      reference_order = result.processing_order;
+    } else if (result.processing_order != reference_order) {
+      identical = false;
+      std::fprintf(stderr,
+                   "FAIL: processing order at %zu threads differs from "
+                   "serial\n",
+                   threads);
+    }
+    if (!runs.empty() && stats.wall_seconds > 0.0) {
+      stats.speedup = runs.front().wall_seconds / stats.wall_seconds;
+    }
+    runs.push_back(stats);
+    std::fprintf(stderr,
+                 "[bench_extract] threads=%zu wall=%.2fs cpu=%.2fs "
+                 "docs/sec=%.0f speedup=%.2fx hits=%zu waits=%zu "
+                 "misses=%zu cancelled=%zu\n",
+                 stats.threads, stats.wall_seconds, stats.cpu_seconds,
+                 stats.docs_per_sec, stats.speedup, stats.hits, stats.waits,
+                 stats.misses, stats.cancelled);
+  }
+
+  // Acceptance: ≥2.5x at 8 threads, hardware permitting.
+  const unsigned hw = std::thread::hardware_concurrency();
+  double speedup8 = 0.0;
+  for (const RunStats& stats : runs) {
+    if (stats.threads == 8) speedup8 = stats.speedup;
+  }
+  const bool gate_applies = hw >= 8 && speedup8 > 0.0;
+  const bool gate_passes = !gate_applies || speedup8 >= 2.5;
+  std::fprintf(stderr, "[bench_extract] hw_concurrency=%u speedup@8=%.2fx %s\n",
+               hw, speedup8,
+               gate_applies ? (gate_passes ? "PASS" : "FAIL")
+                            : "SKIP (needs >=8 hardware threads)");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"extract\",\n  \"docs\": %zu,\n"
+               "  \"pool\": %zu,\n  \"hardware_concurrency\": %u,\n"
+               "  \"byte_identical\": %s,\n  \"runs\": [\n",
+               num_docs, harness.test_pool().size(), hw,
+               identical ? "true" : "false");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunStats& stats = runs[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"wall_seconds\": %.4f, "
+                 "\"cpu_seconds\": %.4f, \"docs_per_sec\": %.1f, "
+                 "\"speedup\": %.3f, \"hits\": %zu, \"waits\": %zu, "
+                 "\"misses\": %zu, \"cancelled\": %zu}%s\n",
+                 stats.threads, stats.wall_seconds, stats.cpu_seconds,
+                 stats.docs_per_sec, stats.speedup, stats.hits, stats.waits,
+                 stats.misses, stats.cancelled,
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n  \"speedup_at_8\": %.3f,\n  \"gate\": \"%s\"\n}\n",
+               speedup8,
+               gate_applies ? (gate_passes ? "PASS" : "FAIL") : "SKIP");
+  std::fclose(out);
+
+  if (!identical) return 1;
+  if (!gate_passes) return 1;
+  return 0;
+}

@@ -26,7 +26,8 @@ class Harness {
     // Note: ComputeIdf + Featurizer::SetIdf are available, but idf-weighted
     // features overfit the small initial samples (rare terms dominate), so
     // the experiments use plain log-TF features; see the ablation bench.
-    word_features_ = FeaturizePool(world_.corpus, featurizer_);
+    word_features_ = FeaturizePool(world_.corpus, featurizer_,
+                                   SetupThreads());
     index_ = BuildPoolIndex(world_.corpus, world_.corpus.splits().test);
     std::fprintf(stderr, "[setup] features+index (%.1fs)\n",
                  timer.ElapsedSeconds());

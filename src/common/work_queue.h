@@ -1,0 +1,102 @@
+// Small threading primitives for the speculative extraction executor
+// (pipeline/extract_executor.*), alongside ParallelFor in parallel.h:
+// a closable MPMC work queue and a countdown latch. Both are mutex +
+// condition-variable based — the executor's unit of work (one document's
+// extraction) is orders of magnitude heavier than a lock handoff, so
+// lock-free machinery would buy nothing here.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace ie {
+
+/// Unbounded multi-producer / multi-consumer FIFO queue of T with close
+/// semantics: Pop blocks until an item arrives or the queue is closed and
+/// drained. Push after Close is a silent no-op (shutdown races are benign).
+template <typename T>
+class WorkQueue {
+ public:
+  void Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks for the next item. Returns false when the queue is closed and
+  /// empty (the consumer should exit).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Removes every queued (not yet popped) item matching `pred`; returns
+  /// how many were removed.
+  template <typename Pred>
+  size_t RemoveIf(Pred pred) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t removed = 0;
+    for (auto it = items_.begin(); it != items_.end();) {
+      if (pred(*it)) {
+        it = items_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+/// Single-use countdown latch (C++17 stand-in for std::latch): Wait blocks
+/// until CountDown has been called `count` times.
+class Latch {
+ public:
+  explicit Latch(size_t count) : count_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t count_;
+};
+
+}  // namespace ie

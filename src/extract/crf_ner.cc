@@ -17,6 +17,23 @@ inline uint32_t HashFeature(uint32_t kind, uint64_t value, uint32_t mask) {
 
 constexpr uint64_t kBoundary = 0xfffffffffffffffULL;
 
+// Reusable per-thread Viterbi scratch: flat DP tables grown to the longest
+// sentence a thread has decoded, instead of a fresh vector<array> pair per
+// sentence. thread_local because the speculative extraction executor runs
+// Viterbi concurrently on worker threads; every cell read is written
+// earlier in the same call, so reuse never leaks state between sentences
+// (tests/ner_test.cc pins this).
+struct ViterbiScratch {
+  std::vector<uint32_t> features;
+  std::vector<double> delta;  // n × kNumBioLabels, row-major
+  std::vector<uint8_t> back;  // same layout
+};
+
+ViterbiScratch& GetViterbiScratch() {
+  thread_local ViterbiScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
 void CrfLiteNer::CollectFeatures(const Sentence& sentence, size_t pos,
@@ -42,9 +59,14 @@ std::vector<uint8_t> CrfLiteNer::Viterbi(const Sentence& sentence) const {
   std::vector<uint8_t> labels(n, kO);
   if (n == 0) return labels;
 
-  std::vector<uint32_t> features;
-  std::vector<std::array<double, kNumBioLabels>> delta(n);
-  std::vector<std::array<uint8_t, kNumBioLabels>> back(n);
+  ViterbiScratch& scratch = GetViterbiScratch();
+  std::vector<uint32_t>& features = scratch.features;
+  if (scratch.delta.size() < n * kNumBioLabels) {
+    scratch.delta.resize(n * kNumBioLabels);
+    scratch.back.resize(n * kNumBioLabels);
+  }
+  double* delta = scratch.delta.data();
+  uint8_t* back = scratch.back.data();
 
   for (size_t pos = 0; pos < n; ++pos) {
     CollectFeatures(sentence, pos, features);
@@ -54,37 +76,40 @@ std::vector<uint8_t> CrfLiteNer::Viterbi(const Sentence& sentence) const {
       for (uint32_t f : features) s += static_cast<double>(unary_[y][f]);
       unary[y] = s;
     }
+    double* delta_row = delta + pos * kNumBioLabels;
+    uint8_t* back_row = back + pos * kNumBioLabels;
     if (pos == 0) {
       for (size_t y = 0; y < kNumBioLabels; ++y) {
-        delta[0][y] = unary[y];
-        back[0][y] = 0;
+        delta_row[y] = unary[y];
+        back_row[y] = 0;
       }
       continue;
     }
+    const double* prev_row = delta_row - kNumBioLabels;
     for (size_t y = 0; y < kNumBioLabels; ++y) {
       double best = -1e300;
       uint8_t arg = 0;
       for (size_t y0 = 0; y0 < kNumBioLabels; ++y0) {
-        const double v =
-            delta[pos - 1][y0] + static_cast<double>(transition_[y0][y]);
+        const double v = prev_row[y0] + static_cast<double>(transition_[y0][y]);
         if (v > best) {
           best = v;
           arg = static_cast<uint8_t>(y0);
         }
       }
-      delta[pos][y] = best + unary[y];
-      back[pos][y] = arg;
+      delta_row[y] = best + unary[y];
+      back_row[y] = arg;
     }
   }
   double best = -1e300;
+  const double* last_row = delta + (n - 1) * kNumBioLabels;
   for (size_t y = 0; y < kNumBioLabels; ++y) {
-    if (delta[n - 1][y] > best) {
-      best = delta[n - 1][y];
+    if (last_row[y] > best) {
+      best = last_row[y];
       labels[n - 1] = static_cast<uint8_t>(y);
     }
   }
   for (size_t i = n - 1; i > 0; --i) {
-    labels[i - 1] = back[i][labels[i]];
+    labels[i - 1] = back[i * kNumBioLabels + labels[i]];
   }
   return labels;
 }

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "corpus/lexicon.h"
 #include "extract/crf_ner.h"
 #include "extract/hmm_ner.h"
@@ -184,26 +185,32 @@ std::unique_ptr<ExtractionSystem> TrainExtractionSystem(
                                             std::move(re));
 }
 
-ExtractionOutcomes ExtractionOutcomes::Compute(const ExtractionSystem& system,
-                                               const Corpus& corpus) {
-  ExtractionOutcomes outcomes;
-  outcomes.useful_.resize(corpus.size(), 0);
-  outcomes.tuples_.resize(corpus.size());
-  for (DocId id = 0; id < corpus.size(); ++id) {
-    outcomes.tuples_[id] = system.Process(corpus.doc(id));
-    outcomes.useful_[id] = outcomes.tuples_[id].empty() ? 0 : 1;
-  }
-  return outcomes;
-}
-
-std::vector<std::string> ExtractionOutcomes::AttributeValues(DocId id) const {
+std::vector<std::string> TupleAttributeValues(
+    const std::vector<ExtractedTuple>& tuples) {
   std::unordered_set<std::string> seen;
   std::vector<std::string> values;
-  for (const ExtractedTuple& t : tuples_[id]) {
+  for (const ExtractedTuple& t : tuples) {
     if (seen.insert(t.attr1).second) values.push_back(t.attr1);
     if (seen.insert(t.attr2).second) values.push_back(t.attr2);
   }
   return values;
+}
+
+ExtractionOutcomes ExtractionOutcomes::Compute(const ExtractionSystem& system,
+                                               const Corpus& corpus,
+                                               size_t threads) {
+  ExtractionOutcomes outcomes;
+  outcomes.useful_.resize(corpus.size(), 0);
+  outcomes.tuples_.resize(corpus.size());
+  ParallelFor(corpus.size(), threads, [&](size_t id) {
+    outcomes.tuples_[id] = system.Process(corpus.doc(static_cast<DocId>(id)));
+    outcomes.useful_[id] = outcomes.tuples_[id].empty() ? 0 : 1;
+  });
+  return outcomes;
+}
+
+std::vector<std::string> ExtractionOutcomes::AttributeValues(DocId id) const {
+  return TupleAttributeValues(tuples_[id]);
 }
 
 size_t ExtractionOutcomes::CountUseful(const std::vector<DocId>& ids) const {

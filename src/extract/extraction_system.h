@@ -28,7 +28,10 @@ class ExtractionSystem {
         relation_extractor_(std::move(relation_extractor)) {}
 
   /// Runs the full pipeline on one document: NER, candidate enumeration,
-  /// relation classification. Duplicate tuples are collapsed.
+  /// relation classification. Duplicate tuples are collapsed. Pure and
+  /// safe to call concurrently for distinct documents (recognizers and the
+  /// relation extractor are immutable after training), which is what lets
+  /// the speculative extraction executor run it on worker threads.
   std::vector<ExtractedTuple> Process(const Document& doc) const;
 
   const RelationSpec& spec() const { return spec_; }
@@ -56,14 +59,23 @@ std::unique_ptr<ExtractionSystem> TrainExtractionSystem(
     RelationId relation, const std::shared_ptr<Vocabulary>& vocab,
     const ExtractorTrainingOptions& options = {});
 
+/// Distinct attribute values of a tuple set, in first-appearance order —
+/// the ranking models' tuple features. Shared by the outcome cache and the
+/// live-extraction path so both derive byte-identical feature vectors.
+std::vector<std::string> TupleAttributeValues(
+    const std::vector<ExtractedTuple>& tuples);
+
 /// Precomputed per-document extraction outcomes over one corpus.
 class ExtractionOutcomes {
  public:
   ExtractionOutcomes() = default;
 
-  /// Runs `system` over every document of `corpus` once.
+  /// Runs `system` over every document of `corpus` once. Per-document
+  /// extraction is pure, so with `threads` > 1 documents are processed in
+  /// parallel (each writing only its own slot) with identical results.
   static ExtractionOutcomes Compute(const ExtractionSystem& system,
-                                    const Corpus& corpus);
+                                    const Corpus& corpus,
+                                    size_t threads = 1);
 
   bool useful(DocId id) const { return useful_[id] != 0; }
   const std::vector<ExtractedTuple>& tuples(DocId id) const {

@@ -41,6 +41,13 @@ class SequenceTaggerNer : public EntityRecognizer {
 
   std::vector<EntityMention> Recognize(const Document& doc) const override;
 
+  /// Public single-sentence decoding entry point (diagnostics and tests —
+  /// e.g. the scratch-reuse stability asserts in tests/ner_test.cc);
+  /// forwards to the tagger's Label implementation.
+  std::vector<uint8_t> LabelSentence(const Sentence& sentence) const {
+    return Label(sentence);
+  }
+
   EntityType type() const { return type_; }
 
  protected:

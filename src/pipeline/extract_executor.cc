@@ -1,0 +1,142 @@
+#include "pipeline/extract_executor.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace ie {
+
+ExtractExecutor::ExtractExecutor(WorkFn work, ExtractExecutorOptions options)
+    : work_(std::move(work)), options_(options) {
+  IE_CHECK(work_ != nullptr);
+  if (options_.prefetch_window == 0) options_.prefetch_window = 1;
+  if (options_.threads > 1) {
+    workers_.reserve(options_.threads);
+    for (size_t t = 0; t < options_.threads; ++t) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+}
+
+ExtractExecutor::~ExtractExecutor() {
+  queue_.Close();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ExtractExecutor::WorkerLoop() {
+  DocId doc = 0;
+  while (queue_.Pop(&doc)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(doc);
+      // Reclaimed by Take() or dropped by CancelQueued() after it was
+      // queued but before we popped it.
+      if (it == cache_.end() || it->second.state != State::kQueued) continue;
+      it->second.state = State::kRunning;
+    }
+    LabeledExample result;
+    std::exception_ptr error;
+    CpuTimer timer;
+    try {
+      result = work_(doc);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const double cpu = timer.ElapsedSeconds();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(doc);
+      IE_CHECK(it != cache_.end() && it->second.state == State::kRunning);
+      it->second.result = std::move(result);
+      it->second.error = error;
+      it->second.state = State::kDone;
+      stats_.worker_cpu_seconds += cpu;
+      ++stats_.tasks_executed;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ExtractExecutor::Prefetch(DocId doc) {
+  if (!speculative()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cache_.size() >= options_.prefetch_window) return;
+    if (!cache_.emplace(doc, Entry{}).second) return;  // already outstanding
+  }
+  queue_.Push(doc);
+}
+
+LabeledExample ExtractExecutor::Take(DocId doc) {
+  if (speculative()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = cache_.find(doc);
+    if (it != cache_.end()) {
+      if (it->second.state == State::kQueued) {
+        // Reclaim: erase so the worker that eventually pops this id skips
+        // it, then compute inline below.
+        cache_.erase(it);
+        ++stats_.misses;
+      } else {
+        if (it->second.state == State::kRunning) {
+          ++stats_.waits;
+          done_cv_.wait(lock, [&] {
+            return cache_.find(doc)->second.state == State::kDone;
+          });
+          it = cache_.find(doc);
+        } else {
+          ++stats_.hits;
+        }
+        LabeledExample result = std::move(it->second.result);
+        std::exception_ptr error = it->second.error;
+        cache_.erase(it);
+        if (error) std::rethrow_exception(error);
+        return result;
+      }
+    } else {
+      ++stats_.misses;
+    }
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+  }
+  CpuTimer timer;
+  LabeledExample result = work_(doc);
+  const double cpu = timer.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.inline_cpu_seconds += cpu;
+  }
+  return result;
+}
+
+size_t ExtractExecutor::CancelQueued() {
+  if (!speculative()) return 0;
+  std::unordered_set<DocId> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      if (it->second.state == State::kQueued) {
+        dropped.insert(it->first);
+        it = cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    stats_.cancelled += dropped.size();
+  }
+  // Purge the ids workers have not popped yet; any id a worker already
+  // holds finds no cache entry and is skipped (same path as Take()'s
+  // reclaim).
+  queue_.RemoveIf([&dropped](DocId d) { return dropped.count(d) > 0; });
+  return dropped.size();
+}
+
+ExtractExecutorStats ExtractExecutor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ie

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <functional>
 #include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "learn/feature_selection.h"
+#include "pipeline/extract_executor.h"
 #include "pipeline/rerank_engine.h"
 #include "ranking/learned_rankers.h"
 #include "ranking/query_learning.h"
@@ -66,32 +69,59 @@ PipelineConfig PipelineConfig::Defaults(RankerKind ranker,
 }
 
 std::vector<SparseVector> FeaturizePool(const Corpus& corpus,
-                                        const Featurizer& featurizer) {
-  std::vector<SparseVector> features(corpus.size());
-  for (DocId id = 0; id < corpus.size(); ++id) {
-    features[id] = featurizer.Featurize(corpus.doc(id));
+                                        const Featurizer& featurizer,
+                                        size_t threads) {
+  // Bigram feature ids must not depend on the parallel execution order:
+  // warm the cache serially in document order (the same order the serial
+  // pass would have interned them) so the parallel pass only reads it.
+  if (featurizer.options().use_bigrams) {
+    for (DocId id = 0; id < corpus.size(); ++id) {
+      featurizer.WarmBigrams(corpus.doc(id));
+    }
   }
+  std::vector<SparseVector> features(corpus.size());
+  ParallelFor(corpus.size(), threads, [&](size_t id) {
+    features[id] = featurizer.Featurize(corpus.doc(static_cast<DocId>(id)));
+  });
   return features;
 }
 
-std::vector<float> ComputeIdf(const Corpus& corpus) {
-  std::vector<uint32_t> df(corpus.vocab().size(), 0);
-  std::vector<uint32_t> seen_at(corpus.vocab().size(), 0xffffffffu);
-  for (DocId id = 0; id < corpus.size(); ++id) {
-    for (const Sentence& sentence : corpus.doc(id).sentences) {
-      for (TokenId token : sentence.tokens) {
-        if (token < df.size() && seen_at[token] != id) {
-          seen_at[token] = id;
-          ++df[token];
+std::vector<float> ComputeIdf(const Corpus& corpus, size_t threads) {
+  const size_t vocab_size = corpus.vocab().size();
+  const size_t docs = corpus.size();
+  // Per-block document-frequency counts, merged in fixed block order.
+  // Counts are integers, so the merged table — and hence every idf float —
+  // is exactly what the serial pass produces.
+  const size_t blocks = threads <= 1 ? 1 : threads;
+  const size_t block_size = (docs + blocks - 1) / blocks;
+  std::vector<std::vector<uint32_t>> partial(blocks);
+  ParallelFor(blocks, threads, [&](size_t b) {
+    std::vector<uint32_t>& df = partial[b];
+    df.assign(vocab_size, 0);
+    std::vector<uint32_t> seen_at(vocab_size, 0xffffffffu);
+    const size_t begin = b * block_size;
+    const size_t end = std::min(docs, begin + block_size);
+    for (size_t id = begin; id < end; ++id) {
+      for (const Sentence& sentence :
+           corpus.doc(static_cast<DocId>(id)).sentences) {
+        for (TokenId token : sentence.tokens) {
+          if (token < df.size() && seen_at[token] != id) {
+            seen_at[token] = static_cast<uint32_t>(id);
+            ++df[token];
+          }
         }
       }
     }
+  });
+  std::vector<uint32_t> df(vocab_size, 0);
+  for (const std::vector<uint32_t>& block_df : partial) {
+    for (size_t i = 0; i < vocab_size; ++i) df[i] += block_df[i];
   }
   std::vector<float> idf(df.size());
   const double n = static_cast<double>(corpus.size());
-  for (size_t i = 0; i < df.size(); ++i) {
+  ParallelFor(df.size(), threads, [&](size_t i) {
     idf[i] = static_cast<float>(std::log(1.0 + n / (df[i] + 1.0)));
-  }
+  });
   return idf;
 }
 
@@ -165,20 +195,69 @@ PipelineResult AdaptiveExtractionPipeline::Run(
   result.pool_size = context.pool->size();
   result.pool_useful = context.outcomes->CountUseful(*context.pool);
 
-  std::unordered_set<DocId> processed;
-  auto process_doc = [&](DocId id) -> LabeledExample {
-    const bool useful = context.outcomes->useful(id);
-    result.extraction_seconds += context.relation->extraction_cost_seconds;
-    result.processing_order.push_back(id);
-    result.processed_useful.push_back(useful ? 1 : 0);
-    processed.insert(id);
+  // Attribute-feature ids are interned on first use; with speculative
+  // workers that order would depend on scheduling. Intern them in pool
+  // order up front so feature ids — and every float accumulated in id
+  // order downstream — are identical at any extract_threads setting.
+  for (DocId id : *context.pool) {
+    for (const std::string& value : context.outcomes->AttributeValues(id)) {
+      context.featurizer->AttributeFeatureId(value);
+    }
+  }
+
+  // Pure per-document extraction: everything that depends only on the
+  // document itself. Runs on executor workers (or inline when serial);
+  // bookkeeping stays on the consumer thread in `consume` below.
+  auto extract_example = [&context](DocId id) -> LabeledExample {
+    bool useful;
+    std::vector<std::string> attrs;
+    if (context.extraction_system != nullptr) {
+      const std::vector<ExtractedTuple> tuples =
+          context.extraction_system->Process(context.corpus->doc(id));
+      useful = !tuples.empty();
+      if (useful) attrs = TupleAttributeValues(tuples);
+    } else {
+      useful = context.outcomes->useful(id);
+      if (useful) attrs = context.outcomes->AttributeValues(id);
+    }
     if (useful) {
-      return {context.featurizer->Featurize(
-                  context.corpus->doc(id),
-                  context.outcomes->AttributeValues(id)),
+      return {context.featurizer->Featurize(context.corpus->doc(id), attrs),
               1};
     }
     return {(*context.word_features)[id], -1};
+  };
+  ExtractExecutorOptions executor_options;
+  executor_options.threads = config.extract_threads;
+  executor_options.prefetch_window = config.prefetch_window;
+  ExtractExecutor executor(extract_example, executor_options);
+  const size_t window =
+      executor.speculative() ? std::max<size_t>(1, config.prefetch_window)
+                             : 1;
+
+  WallTimer extract_wall;
+  std::unordered_set<DocId> processed;
+  auto consume = [&](DocId id) -> LabeledExample {
+    LabeledExample example = executor.Take(id);
+    result.extraction_seconds += context.relation->extraction_cost_seconds;
+    result.processing_order.push_back(id);
+    result.processed_useful.push_back(example.label > 0 ? 1 : 0);
+    processed.insert(id);
+    return example;
+  };
+  // Consumes `ids` front to back, keeping up to `window` documents
+  // prefetched ahead of the cursor (used for the fixed-order phases:
+  // warmup sample and search-interface leftovers).
+  auto consume_in_order = [&](const std::vector<DocId>& ids,
+                              std::vector<LabeledExample>* out) {
+    size_t next_prefetch = 0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      for (; next_prefetch < ids.size() && next_prefetch < i + window;
+           ++next_prefetch) {
+        executor.Prefetch(ids[next_prefetch]);
+      }
+      LabeledExample example = consume(ids[i]);
+      if (out != nullptr) out->push_back(std::move(example));
+    }
   };
 
   // ---- Initial sample ------------------------------------------------
@@ -197,7 +276,7 @@ PipelineResult AdaptiveExtractionPipeline::Run(
 
   std::vector<LabeledExample> sample_examples;
   sample_examples.reserve(sample.size());
-  for (DocId id : sample) sample_examples.push_back(process_doc(id));
+  consume_in_order(sample, &sample_examples);
   result.warmup_documents = sample.size();
 
   // ---- Ranking generation ----------------------------------------------
@@ -284,11 +363,26 @@ PipelineResult AdaptiveExtractionPipeline::Run(
   rerank();
 
   // ---- Extraction loop ---------------------------------------------------
+  // The loop pops a lookahead window of the ranked frontier and prefetches
+  // its extraction onto the executor while consuming strictly in popped
+  // (= ranked) order. On a model update the unconsumed lookahead is
+  // returned to the engine first, so the re-rank sees exactly the pending
+  // set a serial run would — and any speculative results it already has
+  // for demoted documents are simply consumed later.
   std::vector<LabeledExample> buffer;
-  DocId next_doc = 0;
-  while (engine.PopNext(&next_doc)) {
-    const DocId id = next_doc;
-    LabeledExample example = process_doc(id);
+  std::deque<DocId> lookahead;
+  auto fill_lookahead = [&]() {
+    DocId next_doc = 0;
+    while (lookahead.size() < window && engine.PopNext(&next_doc)) {
+      executor.Prefetch(next_doc);
+      lookahead.push_back(next_doc);
+    }
+  };
+  fill_lookahead();
+  while (!lookahead.empty()) {
+    const DocId id = lookahead.front();
+    lookahead.pop_front();
+    LabeledExample example = consume(id);
     const bool useful = example.label > 0;
 
     bool triggered;
@@ -305,6 +399,13 @@ PipelineResult AdaptiveExtractionPipeline::Run(
           std::max(result.peak_buffer_examples, buffer.size());
     }
 
+    if (triggered && adaptive) {
+      while (!lookahead.empty()) {
+        engine.Requeue(lookahead.back());
+        lookahead.pop_back();
+      }
+      executor.CancelQueued();
+    }
     if (triggered && adaptive && engine.pending() > 0) {
       {
         CpuTimer timer;
@@ -346,6 +447,7 @@ PipelineResult AdaptiveExtractionPipeline::Run(
 
       rerank();
     }
+    fill_lookahead();
   }
 
   // Search-interface scenario: documents never retrieved by any query are
@@ -356,8 +458,17 @@ PipelineResult AdaptiveExtractionPipeline::Run(
       if (processed.count(id) == 0) leftovers.push_back(id);
     }
     rng.Shuffle(leftovers);
-    for (DocId id : leftovers) process_doc(id);
+    consume_in_order(leftovers, nullptr);
   }
+  result.extract_wall_seconds = extract_wall.ElapsedSeconds();
+
+  const ExtractExecutorStats executor_stats = executor.stats();
+  result.extract_cpu_seconds =
+      executor_stats.worker_cpu_seconds + executor_stats.inline_cpu_seconds;
+  result.speculative_hits = executor_stats.hits;
+  result.speculative_waits = executor_stats.waits;
+  result.speculative_misses = executor_stats.misses;
+  result.speculative_cancelled = executor_stats.cancelled;
 
   const RerankStats& rerank_stats = engine.stats();
   result.full_rescores = rerank_stats.full_rescores;

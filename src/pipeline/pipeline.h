@@ -54,6 +54,18 @@ struct PipelineConfig {
   /// ParallelFor and reports re-rank overhead in wall time).
   size_t scoring_threads = 1;
 
+  /// Worker threads for speculative per-document extraction (see
+  /// pipeline/extract_executor.h). <= 1 runs extraction inline on the
+  /// consumer thread (the serial reference). Results are byte-identical at
+  /// every thread count — per-document extraction is pure and consumption
+  /// stays strictly in ranked order.
+  size_t extract_threads = 1;
+  /// How far ahead of the ranked frontier the executor may speculate:
+  /// maximum outstanding prefetched documents (queued + running + done but
+  /// unconsumed). Also the size of the popped-but-unconsumed lookahead the
+  /// loop returns to the engine (RerankEngine::Requeue) before a re-rank.
+  size_t prefetch_window = 64;
+
   /// Incremental delta re-ranking (see pipeline/rerank_engine.h): on model
   /// updates, advance cached per-document margins through the factored
   /// weight delta instead of rescoring the whole remaining pool. Orders
@@ -90,14 +102,29 @@ struct PipelineContext {
   const InvertedIndex* index = nullptr;
   /// One learned query list for CQS (required when sampler == kCQS).
   const std::vector<std::string>* cqs_queries = nullptr;
+  /// Optional live extraction: when set, every processed document runs the
+  /// real IE system (NER → relation classification) instead of replaying
+  /// the outcome cache — byte-identical verdicts (Process is
+  /// deterministic; `outcomes` stays required for pool statistics and the
+  /// Perfect oracle) but real per-document CPU, which is what the
+  /// speculative executor parallelizes. See bench/bench_extract.cc.
+  const ExtractionSystem* extraction_system = nullptr;
 };
 
-/// Precomputes word features for every document of the corpus.
+/// Precomputes word features for every document of the corpus. With
+/// `threads` > 1 documents are featurized in parallel with results
+/// identical to the serial pass: each document owns its output slot, its
+/// entry accumulation order is per-document, and bigram ids are assigned
+/// by a serial in-order warm pass before the parallel one.
 std::vector<SparseVector> FeaturizePool(const Corpus& corpus,
-                                        const Featurizer& featurizer);
+                                        const Featurizer& featurizer,
+                                        size_t threads = 1);
 
 /// Smoothed idf table over the corpus: ln(1 + N / (df + 1)) per token id.
-std::vector<float> ComputeIdf(const Corpus& corpus);
+/// With `threads` > 1 the document-frequency pass runs over contiguous
+/// document blocks merged in fixed block order — integer counts, so the
+/// result is exactly the serial one.
+std::vector<float> ComputeIdf(const Corpus& corpus, size_t threads = 1);
 
 /// Builds an index over the pool documents.
 InvertedIndex BuildPoolIndex(const Corpus& corpus,

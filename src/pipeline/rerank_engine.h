@@ -85,6 +85,14 @@ class RerankEngine {
   /// Pops the best pending candidate; false when the pool is exhausted.
   bool PopNext(DocId* doc);
 
+  /// Returns a popped-but-unconsumed candidate to the pending pool (the
+  /// speculative extraction loop pops a lookahead window and pushes the
+  /// unconsumed remainder back before re-ranking). The document keeps its
+  /// original insertion slot — and hence its tie-break position — and its
+  /// cached margins, which are still valid because delta passes only run
+  /// after every lookahead document has been requeued.
+  void Requeue(DocId doc);
+
   size_t pending() const { return pending_; }
   const RerankStats& stats() const { return stats_; }
 

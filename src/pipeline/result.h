@@ -26,8 +26,20 @@ struct PipelineResult {
   /// Positions (processed-document counts) where model updates fired.
   std::vector<size_t> update_positions;
 
-  /// Simulated extraction time (per-document cost model).
+  /// Simulated extraction time (per-document cost model). Deterministic —
+  /// one charge per consumed document regardless of extract_threads — so
+  /// cost metrics stay comparable across thread counts.
   double extraction_seconds = 0.0;
+  /// Measured per-document extraction CPU: the sum of thread-CPU timers
+  /// around each document's extraction wherever it ran (executor workers
+  /// or inline). Unlike wall time this does not shrink with speculation;
+  /// it is the run's real extraction work. 0 unless the run did real work
+  /// (live extraction or featurization of useful documents).
+  double extract_cpu_seconds = 0.0;
+  /// Wall-clock time of the processing phases (warmup consumption through
+  /// the last document), including ranking overhead — the end-to-end
+  /// docs/sec denominator for bench_extract.
+  double extract_wall_seconds = 0.0;
   /// Measured CPU time inside the update detector.
   double detector_cpu_seconds = 0.0;
   /// Measured CPU time spent training/scoring/sorting (ranking overhead).
@@ -40,6 +52,16 @@ struct PipelineResult {
   size_t delta_rescores = 0;
   size_t rerank_density_fallbacks = 0;
   size_t delta_documents_rescored = 0;
+
+  /// Speculative extraction executor telemetry (see
+  /// pipeline/extract_executor.h): consumed results that were ready
+  /// (hits), awaited in-flight (waits), computed inline (misses), and
+  /// queued prefetches dropped on re-ranks (cancelled). A serial run is
+  /// all misses. Timing-dependent — excluded from determinism comparisons.
+  size_t speculative_hits = 0;
+  size_t speculative_waits = 0;
+  size_t speculative_misses = 0;
+  size_t speculative_cancelled = 0;
 
   /// Peak size of the between-updates example buffer. Non-adaptive runs
   /// skip buffering entirely, so this stays 0 for them (regression guard

@@ -1,20 +1,58 @@
 #include "text/featurizer.h"
 
 #include <cmath>
+#include <mutex>
 #include <unordered_map>
 
 namespace ie {
 
+namespace {
+
+inline uint64_t BigramKey(TokenId a, TokenId b) {
+  return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+}
+
+}  // namespace
+
+uint32_t Featurizer::BigramFeatureId(TokenId a, TokenId b) const {
+  const uint64_t key = BigramKey(a, b);
+  {
+    std::shared_lock<std::shared_mutex> lock(bigram_mu_);
+    auto it = bigram_ids_.find(key);
+    if (it != bigram_ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(bigram_mu_);
+  auto it = bigram_ids_.find(key);
+  if (it != bigram_ids_.end()) return it->second;
+  const uint32_t id =
+      vocab_->Intern(vocab_->Term(a) + "_" + vocab_->Term(b));
+  bigram_ids_.emplace(key, id);
+  return id;
+}
+
+void Featurizer::WarmBigrams(const Document& doc) const {
+  if (!options_.use_bigrams) return;
+  for (const Sentence& sentence : doc.sentences) {
+    for (size_t i = 0; i + 1 < sentence.tokens.size(); ++i) {
+      BigramFeatureId(sentence.tokens[i], sentence.tokens[i + 1]);
+    }
+  }
+}
+
 void Featurizer::CollectEntries(
     const Document& doc, std::vector<SparseVector::Entry>& entries) const {
+  size_t total_tokens = 0;
+  for (const Sentence& sentence : doc.sentences) {
+    total_tokens += sentence.tokens.size();
+  }
   std::unordered_map<uint32_t, float> counts;
+  counts.reserve(total_tokens * (options_.use_bigrams ? 2 : 1));
   for (const Sentence& sentence : doc.sentences) {
     for (size_t i = 0; i < sentence.tokens.size(); ++i) {
       counts[sentence.tokens[i]] += 1.0f;
       if (options_.use_bigrams && i + 1 < sentence.tokens.size()) {
-        const std::string bigram = vocab_->Term(sentence.tokens[i]) + "_" +
-                                   vocab_->Term(sentence.tokens[i + 1]);
-        counts[vocab_->Intern(bigram)] += 1.0f;
+        counts[BigramFeatureId(sentence.tokens[i],
+                               sentence.tokens[i + 1])] += 1.0f;
       }
     }
   }

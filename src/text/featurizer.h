@@ -5,8 +5,11 @@
 // extracted from them as features").
 #pragma once
 
+#include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "text/document.h"
@@ -32,6 +35,14 @@ class Featurizer {
       : vocab_(vocab), options_(options) {}
 
   /// Bag-of-words (and optionally bigram) features for a document.
+  ///
+  /// Thread safety: safe to call concurrently (the speculative extraction
+  /// executor featurizes on worker threads) provided nothing else mutates
+  /// the vocabulary concurrently. Bigram ids come from a shared
+  /// read-mostly cache; interning a *new* bigram or attribute feature
+  /// mutates the vocabulary, so parallel phases must be preceded by
+  /// WarmBigrams / AttributeFeatureId passes over the documents involved
+  /// (FeaturizePool and the pipeline do this).
   SparseVector Featurize(const Document& doc) const;
 
   /// Featurize and append tuple-attribute features: one feature
@@ -43,6 +54,16 @@ class Featurizer {
 
   /// Id of the attribute feature for `value` (interned).
   uint32_t AttributeFeatureId(std::string_view value) const;
+
+  /// Id of the bigram feature for adjacent tokens (a, b), via a cache
+  /// keyed by the token-id pair — the hot path never rebuilds the
+  /// "<term>_<term>" string (only a first-ever miss interns it).
+  uint32_t BigramFeatureId(TokenId a, TokenId b) const;
+
+  /// Interns every adjacent-pair bigram of `doc` into the cache (no-op
+  /// without use_bigrams). Called serially in document order before
+  /// parallel featurization so bigram ids are assigned deterministically.
+  void WarmBigrams(const Document& doc) const;
 
   /// Installs inverse-document-frequency weights (indexed by feature id;
   /// features beyond the table — e.g. attribute features interned later —
@@ -63,6 +84,11 @@ class Featurizer {
   FeaturizerOptions options_;
   std::vector<float> idf_;
   float default_idf_ = 3.0f;
+
+  // (TokenId, TokenId) -> interned bigram feature id. Read-mostly after the
+  // warm pass; the shared_mutex only serializes first-ever misses.
+  mutable std::shared_mutex bigram_mu_;
+  mutable std::unordered_map<uint64_t, uint32_t> bigram_ids_;
 };
 
 }  // namespace ie

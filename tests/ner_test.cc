@@ -291,6 +291,47 @@ TEST(CrfLiteNerTest, LearnsLocationRecognition) {
   EXPECT_GT(q.precision, 0.6);
 }
 
+// Both learned taggers decode through reusable per-thread scratch buffers
+// (flat DP tables in CrfLiteNer::Viterbi, the feature vector in
+// MemmNer::Label). Pin that reuse never leaks state between sentences: a
+// second decoding pass — running with scratch warm from every earlier
+// sentence, including longer ones — must reproduce the first pass exactly,
+// in both orders.
+template <typename Ner>
+void ExpectStableTags(const Ner& ner) {
+  const Corpus& corpus = test::SharedCorpus();
+  const auto& dev = corpus.splits().dev;
+  std::vector<std::vector<std::vector<uint8_t>>> first;
+  for (size_t i = 0; i < 50 && i < dev.size(); ++i) {
+    const Document& doc = corpus.doc(dev[i]);
+    auto& tags = first.emplace_back();
+    for (const Sentence& sentence : doc.sentences) {
+      tags.push_back(ner.LabelSentence(sentence));
+    }
+  }
+  for (size_t i = first.size(); i-- > 0;) {
+    const Document& doc = corpus.doc(dev[i]);
+    for (size_t s = doc.sentences.size(); s-- > 0;) {
+      ASSERT_EQ(ner.LabelSentence(doc.sentences[s]), first[i][s])
+          << "doc " << dev[i] << " sentence " << s;
+    }
+  }
+}
+
+TEST(MemmNerTest, ScratchReuseKeepsTagsStable) {
+  const Corpus& corpus = test::SharedCorpus();
+  MemmNer ner(EntityType::kNaturalDisaster, &corpus.vocab());
+  ner.Train(TaggerTrainingData(EntityType::kNaturalDisaster));
+  ExpectStableTags(ner);
+}
+
+TEST(CrfLiteNerTest, ScratchReuseKeepsTagsStable) {
+  const Corpus& corpus = test::SharedCorpus();
+  CrfLiteNer ner(EntityType::kLocation, &corpus.vocab());
+  ner.Train(TaggerTrainingData(EntityType::kLocation));
+  ExpectStableTags(ner);
+}
+
 TEST(CrfLiteNerTest, LearnsChargeRecognition) {
   const Corpus& corpus = test::SharedCorpus();
   CrfLiteNer ner(EntityType::kCharge, &corpus.vocab());

@@ -46,9 +46,13 @@ inline const ExtractionOutcomes& SharedOutcomes(RelationId relation) {
   static auto* cache = new std::map<RelationId, ExtractionOutcomes>();
   auto it = cache->find(relation);
   if (it == cache->end()) {
+    // threads=2 exercises the parallel Compute path (and, under TSan, the
+    // thread safety of ExtractionSystem::Process) in every test binary;
+    // results are identical to the serial pass.
     it = cache
-             ->emplace(relation, ExtractionOutcomes::Compute(
-                                     SharedSystem(relation), SharedCorpus()))
+             ->emplace(relation,
+                       ExtractionOutcomes::Compute(SharedSystem(relation),
+                                                   SharedCorpus(), 2))
              .first;
   }
   return it->second;
@@ -64,7 +68,7 @@ inline Featurizer& SharedFeaturizer() {
 /// Word features for the shared corpus (computed once).
 inline const std::vector<SparseVector>& SharedWordFeatures() {
   static const auto* features = new std::vector<SparseVector>(
-      FeaturizePool(SharedCorpus(), SharedFeaturizer()));
+      FeaturizePool(SharedCorpus(), SharedFeaturizer(), 2));
   return *features;
 }
 

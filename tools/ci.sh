@@ -42,6 +42,13 @@ step "bench_rerank smoke (incremental re-rank engine)"
 IE_BENCH_DOCS=4000 ./build-default/bench/bench_rerank \
     --benchmark_min_time=1x --benchmark_filter='/(1|8)$'
 
+step "bench_extract smoke (speculative extraction executor)"
+# Serial + 2-thread live-extraction runs on a small corpus: proves the
+# executor engages (hit counters) and output stays byte-identical. The
+# ≥2.5x @ 8-thread gate self-skips below 8 hardware threads.
+IE_BENCH_DOCS=4000 ./build-default/bench/bench_extract \
+    --threads=1,2 --out=build-default/BENCH_extract.json
+
 if [ "$MODE" = "quick" ]; then
   echo; echo "CI quick: OK"; exit 0
 fi

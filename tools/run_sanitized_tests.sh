@@ -30,5 +30,13 @@ for preset in "${PRESETS[@]}"; do
   cmake --build "build-$preset" -j "$JOBS"
   echo "=== [$preset] ctest ==="
   ctest --preset "$preset" -j "$JOBS"
+  if [ "$preset" = tsan ]; then
+    # Extra spins of the executor stress surface: races here are
+    # scheduling-dependent, so one ctest pass under-samples them.
+    echo "=== [$preset] extract executor stress (x5) ==="
+    "build-$preset/tests/extract_parallel_test" \
+        --gtest_filter='ExtractExecutorStress.*:WorkQueueTest.Concurrent*' \
+        --gtest_repeat=5 --gtest_brief=1
+  fi
   echo "=== [$preset] OK ==="
 done
