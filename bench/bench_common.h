@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/timer.h"
 #include "corpus/generator.h"
 #include "extract/extraction_system.h"
@@ -84,6 +85,19 @@ inline World BuildWorld(const std::vector<RelationId>& relations,
                  timer.ElapsedSeconds());
   }
   return world;
+}
+
+/// The shared `"metrics"` entry every BENCH_*.json writer appends to its
+/// top-level object: a run's MetricsSnapshot pretty-printed under one
+/// uniform key, so CI trend tooling reads observability data the same way
+/// across benches. `indent` is the key's leading indentation; nested lines
+/// indent from there (see MetricsSnapshot::AppendJson).
+inline std::string MetricsJsonEntry(const MetricsSnapshot& metrics,
+                                    int indent = 2) {
+  std::string entry(static_cast<size_t>(indent), ' ');
+  entry += "\"metrics\": ";
+  metrics.AppendJson(&entry, indent);
+  return entry;
 }
 
 inline std::vector<RelationId> AllRelationIds() {

@@ -9,6 +9,13 @@
 // emitted as JSON for CI trend tracking.
 //
 //   bench_extract [--threads=1,2,4,8] [--out=BENCH_extract.json]
+//                 [--trace=trace.json]
+//
+// With --trace, an extra overhead smoke runs after the thread sweep:
+// best-of-3 two-thread walls with the tracer off vs on. The traced runs
+// export a Chrome-trace JSON to the given path (CI validates it with
+// tools/check_trace.py) and the ratio lands in the output JSON as
+// "trace_overhead_ratio".
 //
 // Environment knobs (bench_common.h): IE_BENCH_DOCS (default here: 10000).
 //
@@ -60,12 +67,15 @@ std::vector<size_t> ParseThreadList(const std::string& csv) {
 int main(int argc, char** argv) {
   std::vector<size_t> thread_counts = {1, 2, 4, 8};
   std::string out_path = "BENCH_extract.json";
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
       thread_counts = ParseThreadList(arg.substr(10));
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
@@ -90,6 +100,7 @@ int main(int argc, char** argv) {
 
   std::vector<RunStats> runs;
   std::vector<DocId> reference_order;
+  MetricsSnapshot serial_metrics;
   bool identical = true;
   for (size_t threads : thread_counts) {
     config.extract_threads = threads;
@@ -104,12 +115,13 @@ int main(int argc, char** argv) {
             ? static_cast<double>(result.processing_order.size()) /
                   result.extract_wall_seconds
             : 0.0;
-    stats.hits = result.speculative_hits;
-    stats.waits = result.speculative_waits;
-    stats.misses = result.speculative_misses;
-    stats.cancelled = result.speculative_cancelled;
+    stats.hits = result.speculative_hits();
+    stats.waits = result.speculative_waits();
+    stats.misses = result.speculative_misses();
+    stats.cancelled = result.speculative_cancelled();
     if (threads == 1) {
       reference_order = result.processing_order;
+      serial_metrics = result.metrics;
     } else if (result.processing_order != reference_order) {
       identical = false;
       std::fprintf(stderr,
@@ -143,6 +155,36 @@ int main(int argc, char** argv) {
                gate_applies ? (gate_passes ? "PASS" : "FAIL")
                             : "SKIP (needs >=8 hardware threads)");
 
+  // Tracing-overhead smoke: best-of-3 two-thread walls, tracer off vs on.
+  // Two threads so the trace carries executor spans and queue-depth
+  // counters, not just the serial inline path. The traced runs all export
+  // to trace_path (last one wins — any of them is a valid CI artifact).
+  double trace_overhead_ratio = 0.0;
+  if (!trace_path.empty()) {
+    config.extract_threads = 2;
+    const auto best_wall = [&](const std::string& path) {
+      config.trace_path = path;
+      double best = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        WallTimer timer;
+        const PipelineResult result =
+            AdaptiveExtractionPipeline::Run(context, config);
+        IE_CHECK(result.processing_order == reference_order);
+        const double wall = timer.ElapsedSeconds();
+        if (best == 0.0 || wall < best) best = wall;
+      }
+      return best;
+    };
+    const double untraced = best_wall("");
+    const double traced = best_wall(trace_path);
+    config.trace_path.clear();
+    if (untraced > 0.0) trace_overhead_ratio = traced / untraced;
+    std::fprintf(stderr,
+                 "[bench_extract] trace overhead: untraced=%.3fs "
+                 "traced=%.3fs ratio=%.3f (trace -> %s)\n",
+                 untraced, traced, trace_overhead_ratio, trace_path.c_str());
+  }
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -167,9 +209,12 @@ int main(int argc, char** argv) {
                  i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(out,
-               "  ],\n  \"speedup_at_8\": %.3f,\n  \"gate\": \"%s\"\n}\n",
+               "  ],\n  \"speedup_at_8\": %.3f,\n  \"gate\": \"%s\",\n"
+               "  \"trace_overhead_ratio\": %.3f,\n",
                speedup8,
-               gate_applies ? (gate_passes ? "PASS" : "FAIL") : "SKIP");
+               gate_applies ? (gate_passes ? "PASS" : "FAIL") : "SKIP",
+               trace_overhead_ratio);
+  std::fprintf(out, "%s\n}\n", MetricsJsonEntry(serial_metrics).c_str());
   std::fclose(out);
 
   if (!identical) return 1;

@@ -1,5 +1,14 @@
 // Minimal leveled logging to stderr. Benchmarks and the pipeline use INFO
 // for progress; tests typically run at WARN.
+//
+// Thread safety: the global level is an atomic (relaxed loads/stores), so
+// Get/SetLogLevel may race freely — executor workers log concurrently with
+// the main loop, and a worker may observe a level change slightly late,
+// never a torn value. Each message is buffered whole in its LogMessage and
+// written to std::cerr in one call; interleaving between concurrent
+// messages happens only at whole-message granularity on glibc
+// (POSIX-locked FILE streams). Pinned by ObservabilityTest
+// ConcurrentLogLevelAndLogging under the tsan preset.
 #pragma once
 
 #include <cstdlib>
@@ -11,7 +20,8 @@ namespace ie {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global minimum level; messages below it are dropped.
+/// Global minimum level; messages below it are dropped. Atomic: safe to
+/// call from any thread at any time (see the thread-safety note above).
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 

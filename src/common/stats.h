@@ -1,13 +1,19 @@
-// Small statistics helpers shared by the evaluation harness and benches.
+// Small statistics helpers shared by the evaluation harness, benches, and
+// the metrics layer (common/metrics.h uses RunningStats as the histogram
+// summary backbone: per-thread shards merge into one summary on snapshot).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace ie {
 
-/// Online mean/variance accumulator (Welford).
+/// Online mean/variance accumulator (Welford) with min/max tracking and
+/// parallel merge (Chan et al.'s pairwise update), so per-thread
+/// accumulators can be combined without keeping raw samples.
 class RunningStats {
  public:
   void Add(double x) {
@@ -15,10 +21,53 @@ class RunningStats {
     const double delta = x - mean_;
     mean_ += delta / static_cast<double>(n_);
     m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  /// Combines another accumulator into this one; the result is as if every
+  /// sample of `other` had been Add()ed here (up to floating-point
+  /// reassociation in mean/m2; min/max and count are exact).
+  void Merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  /// Rebuilds an accumulator from raw moments (the metrics layer stores
+  /// shard moments in atomics and reconstitutes them on snapshot).
+  static RunningStats FromMoments(size_t n, double mean, double m2,
+                                  double min, double max) {
+    RunningStats stats;
+    stats.n_ = n;
+    if (n > 0) {
+      stats.mean_ = mean;
+      stats.m2_ = std::max(m2, 0.0);
+      stats.min_ = min;
+      stats.max_ = max;
+    }
+    return stats;
   }
 
   size_t count() const { return n_; }
   double mean() const { return mean_; }
+  /// Sum of squared deviations from the mean (Welford's M2; variance
+  /// numerator). Exposed so snapshot deltas can invert Merge().
+  double m2() const { return m2_; }
+  /// Smallest/largest sample seen; 0 when empty (stable JSON output).
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
   double variance() const {
     return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
@@ -29,6 +78,8 @@ class RunningStats {
   size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
 };
 
 /// Mean of a vector; 0 when empty.

@@ -6,17 +6,24 @@
 // lock-free machinery would buy nothing here.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <utility>
+
+#include "common/metrics.h"
 
 namespace ie {
 
 /// Unbounded multi-producer / multi-consumer FIFO queue of T with close
 /// semantics: Pop blocks until an item arrives or the queue is closed and
 /// drained. Push after Close is a silent no-op (shutdown races are benign).
+///
+/// With set_latency_histogram() the queue records each item's
+/// enqueue-to-dequeue latency (seconds); without it no clocks are read.
 template <typename T>
 class WorkQueue {
  public:
@@ -24,7 +31,8 @@ class WorkQueue {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_) return;
-      items_.push_back(std::move(item));
+      items_.push_back(
+          Slot{std::move(item), latency_hist_ != nullptr ? NowNs() : 0});
     }
     cv_.notify_one();
   }
@@ -32,11 +40,18 @@ class WorkQueue {
   /// Blocks for the next item. Returns false when the queue is closed and
   /// empty (the consumer should exit).
   bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return false;
-    *out = std::move(items_.front());
-    items_.pop_front();
+    uint64_t enqueue_ns = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return false;
+      *out = std::move(items_.front().item);
+      enqueue_ns = items_.front().enqueue_ns;
+      items_.pop_front();
+    }
+    if (latency_hist_ != nullptr && enqueue_ns != 0) {
+      latency_hist_->Observe(static_cast<double>(NowNs() - enqueue_ns) * 1e-9);
+    }
     return true;
   }
 
@@ -47,7 +62,7 @@ class WorkQueue {
     std::lock_guard<std::mutex> lock(mu_);
     size_t removed = 0;
     for (auto it = items_.begin(); it != items_.end();) {
-      if (pred(*it)) {
+      if (pred(it->item)) {
         it = items_.erase(it);
         ++removed;
       } else {
@@ -70,11 +85,29 @@ class WorkQueue {
     return items_.size();
   }
 
+  /// Arms enqueue-to-dequeue latency recording into `hist` (seconds).
+  /// `hist` must outlive the queue; call before producers/consumers start
+  /// (the pointer itself is not synchronized, only the instrument is).
+  void set_latency_histogram(Histogram* hist) { latency_hist_ = hist; }
+
  private:
+  struct Slot {
+    T item;
+    uint64_t enqueue_ns;
+  };
+
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<T> items_;
+  std::deque<Slot> items_;
   bool closed_ = false;
+  Histogram* latency_hist_ = nullptr;
 };
 
 /// Single-use countdown latch (C++17 stand-in for std::latch): Wait blocks

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace ie {
 
 namespace {
@@ -64,6 +67,7 @@ double ElasticNetSgd::Score(const SparseVector& x) const {
 }
 
 void ElasticNetSgd::BeginStep() {
+  IE_METRIC_COUNT("learn.pegasos_steps");
   ++steps_;
   const double eta = Eta(steps_);
   const double decay = 1.0 - eta * L2Eff();
@@ -90,6 +94,7 @@ bool ElasticNetSgd::Step(const SparseVector& x, int y) {
   const double margin = static_cast<double>(y) * Score(x);
   BeginStep();
   if (margin >= 1.0) return false;
+  IE_METRIC_COUNT("learn.margin_violations");
   ApplyGradient(x, Eta(steps_) * static_cast<double>(y));
   return true;
 }
@@ -107,6 +112,7 @@ bool ElasticNetSgd::PairStep(const SparseVector& pos,
   const double margin = Score(pos) - Score(neg);
   BeginStep();
   if (margin >= 1.0) return false;
+  IE_METRIC_COUNT("learn.margin_violations");
   const double eta = Eta(steps_);
   ApplyGradient(pos, eta);
   ApplyGradient(neg, -eta);
@@ -122,11 +128,13 @@ double ElasticNetSgd::L1PenaltySince(size_t step) const {
 }
 
 FactoredWeightDelta ElasticNetSgd::CommitAll() {
+  IE_TRACE_SCOPE("learn.commit");
   FactoredWeightDelta delta;
   delta.scale = DecayScaleSince(last_commit_step_);
   delta.penalty = L1PenaltySince(last_commit_step_);
   const double k = delta.scale;
   const double p = delta.penalty;
+  size_t zero_clamps = 0;
   auto sign = [](double v) { return v > 0.0 ? 1.0 : (v < 0.0 ? -1.0 : 0.0); };
   for (uint32_t id = 0; id < values_.size(); ++id) {
     const bool touched = touched_slot_[id] != 0;
@@ -150,8 +158,12 @@ FactoredWeightDelta ElasticNetSgd::CommitAll() {
     const double correction = w2 - affine;
     if (correction != 0.0) delta.margin_correction.entries.push_back(
         {id, correction});
-    if (s1 != s2) delta.sign_correction.entries.push_back({id, s2 - s1});
+    if (s1 != s2) {
+      delta.sign_correction.entries.push_back({id, s2 - s1});
+      if (s2 == 0.0) ++zero_clamps;  // lazy L1 drove the weight to exact 0
+    }
   }
+  IE_METRIC_COUNT_N("learn.l1_zero_clamps", zero_clamps);
   std::fill(touched_slot_.begin(), touched_slot_.end(), 0);
   touched_ids_.clear();
   touched_old_.clear();

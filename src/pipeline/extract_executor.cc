@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/timer.h"
+#include "common/trace.h"
 
 namespace ie {
 
@@ -12,6 +14,10 @@ ExtractExecutor::ExtractExecutor(WorkFn work, ExtractExecutorOptions options)
     : work_(std::move(work)), options_(options) {
   IE_CHECK(work_ != nullptr);
   if (options_.prefetch_window == 0) options_.prefetch_window = 1;
+#if IE_OBSERVABILITY
+  queue_.set_latency_histogram(&MetricsRegistry::Global().GetHistogram(
+      "executor.queue_latency_seconds"));
+#endif
   if (options_.threads > 1) {
     workers_.reserve(options_.threads);
     for (size_t t = 0; t < options_.threads; ++t) {
@@ -28,6 +34,7 @@ ExtractExecutor::~ExtractExecutor() {
 void ExtractExecutor::WorkerLoop() {
   DocId doc = 0;
   while (queue_.Pop(&doc)) {
+    IE_TRACE_COUNTER("executor.queue_depth", queue_.size());
     {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = cache_.find(doc);
@@ -38,6 +45,7 @@ void ExtractExecutor::WorkerLoop() {
     }
     LabeledExample result;
     std::exception_ptr error;
+    IE_TRACE_SCOPE("executor.task");
     CpuTimer timer;
     try {
       result = work_(doc);
@@ -45,6 +53,7 @@ void ExtractExecutor::WorkerLoop() {
       error = std::current_exception();
     }
     const double cpu = timer.ElapsedSeconds();
+    IE_METRIC_HIST_OBSERVE("executor.task_seconds", cpu);
     {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = cache_.find(doc);
@@ -79,15 +88,19 @@ LabeledExample ExtractExecutor::Take(DocId doc) {
         // it, then compute inline below.
         cache_.erase(it);
         ++stats_.misses;
+        IE_METRIC_COUNT("executor.misses");
       } else {
         if (it->second.state == State::kRunning) {
           ++stats_.waits;
+          IE_METRIC_COUNT("executor.waits");
+          IE_TRACE_SCOPE("executor.wait");
           done_cv_.wait(lock, [&] {
             return cache_.find(doc)->second.state == State::kDone;
           });
           it = cache_.find(doc);
         } else {
           ++stats_.hits;
+          IE_METRIC_COUNT("executor.hits");
         }
         LabeledExample result = std::move(it->second.result);
         std::exception_ptr error = it->second.error;
@@ -97,14 +110,18 @@ LabeledExample ExtractExecutor::Take(DocId doc) {
       }
     } else {
       ++stats_.misses;
+      IE_METRIC_COUNT("executor.misses");
     }
   } else {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.misses;
+    IE_METRIC_COUNT("executor.misses");
   }
+  IE_TRACE_SCOPE("executor.inline_task");
   CpuTimer timer;
   LabeledExample result = work_(doc);
   const double cpu = timer.ElapsedSeconds();
+  IE_METRIC_HIST_OBSERVE("executor.task_seconds", cpu);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.inline_cpu_seconds += cpu;
@@ -126,6 +143,7 @@ size_t ExtractExecutor::CancelQueued() {
       }
     }
     stats_.cancelled += dropped.size();
+    IE_METRIC_COUNT_N("executor.cancelled", dropped.size());
   }
   // Purge the ids workers have not popped yet; any id a worker already
   // holds finds no cache entry and is skipped (same path as Take()'s

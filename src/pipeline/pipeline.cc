@@ -8,8 +8,10 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "learn/feature_selection.h"
 #include "pipeline/extract_executor.h"
 #include "pipeline/rerank_engine.h"
@@ -181,10 +183,13 @@ std::unordered_set<uint32_t> WeightSupport(const WeightVector& w) {
   return support;
 }
 
-}  // namespace
-
-PipelineResult AdaptiveExtractionPipeline::Run(
-    const PipelineContext& context, const PipelineConfig& config) {
+/// The run proper. Kept separate from Run() so the ExtractExecutor (and its
+/// worker threads) are joined — via `executor`'s destructor at the end of
+/// this scope — before Run() exports the trace and snapshots the registry:
+/// both reads then observe fully quiesced writers.
+PipelineResult RunImpl(const PipelineContext& context,
+                       const PipelineConfig& config) {
+  IE_TRACE_SCOPE("pipeline.run");
   IE_CHECK(context.corpus != nullptr && context.pool != nullptr &&
            context.outcomes != nullptr && context.relation != nullptr &&
            context.featurizer != nullptr &&
@@ -270,19 +275,27 @@ PipelineResult AdaptiveExtractionPipeline::Run(
   } else {
     sampler = std::make_unique<SrsSampler>();
   }
-  const std::vector<DocId> sample = sampler->Sample(
-      *context.pool, std::min(config.sample_size, context.pool->size()),
-      &rng);
+  std::vector<DocId> sample;
+  {
+    IE_TRACE_SCOPE("pipeline.sample");
+    sample = sampler->Sample(
+        *context.pool, std::min(config.sample_size, context.pool->size()),
+        &rng);
+  }
 
   std::vector<LabeledExample> sample_examples;
   sample_examples.reserve(sample.size());
-  consume_in_order(sample, &sample_examples);
+  {
+    IE_TRACE_SCOPE("pipeline.warmup");
+    consume_in_order(sample, &sample_examples);
+  }
   result.warmup_documents = sample.size();
 
   // ---- Ranking generation ----------------------------------------------
   std::unique_ptr<DocumentRanker> ranker =
       MakeRanker(config, rng.NextUint64());
   {
+    IE_TRACE_SCOPE("pipeline.train_initial");
     CpuTimer timer;
     ranker->TrainInitial(sample_examples);
     result.ranking_cpu_seconds += timer.ElapsedSeconds();
@@ -351,14 +364,17 @@ PipelineResult AdaptiveExtractionPipeline::Run(
   engine_ptr = &engine;
 
   auto rerank = [&]() {
+    IE_TRACE_SCOPE("pipeline.rank");
     // With worker threads, thread-CPU time misses the workers; fall back
     // to wall time for the overhead accounting in that configuration.
     CpuTimer cpu_timer;
     WallTimer wall_timer;
     engine.Rerank();
-    result.ranking_cpu_seconds += config.scoring_threads > 1
-                                      ? wall_timer.ElapsedSeconds()
-                                      : cpu_timer.ElapsedSeconds();
+    const double seconds = config.scoring_threads > 1
+                               ? wall_timer.ElapsedSeconds()
+                               : cpu_timer.ElapsedSeconds();
+    result.ranking_cpu_seconds += seconds;
+    IE_METRIC_HIST_OBSERVE("pipeline.rank_seconds", seconds);
   };
   rerank();
 
@@ -370,6 +386,7 @@ PipelineResult AdaptiveExtractionPipeline::Run(
   // set a serial run would — and any speculative results it already has
   // for demoted documents are simply consumed later.
   std::vector<LabeledExample> buffer;
+  size_t peak_buffer_examples = 0;
   std::deque<DocId> lookahead;
   auto fill_lookahead = [&]() {
     DocId next_doc = 0;
@@ -379,6 +396,7 @@ PipelineResult AdaptiveExtractionPipeline::Run(
     }
   };
   fill_lookahead();
+  TraceSpan consume_span("pipeline.consume");
   while (!lookahead.empty()) {
     const DocId id = lookahead.front();
     lookahead.pop_front();
@@ -395,8 +413,7 @@ PipelineResult AdaptiveExtractionPipeline::Run(
     // accumulate the whole pool's feature vectors for nothing.
     if (adaptive) {
       buffer.push_back(std::move(example));
-      result.peak_buffer_examples =
-          std::max(result.peak_buffer_examples, buffer.size());
+      peak_buffer_examples = std::max(peak_buffer_examples, buffer.size());
     }
 
     if (triggered && adaptive) {
@@ -407,7 +424,10 @@ PipelineResult AdaptiveExtractionPipeline::Run(
       executor.CancelQueued();
     }
     if (triggered && adaptive && engine.pending() > 0) {
+      IE_TRACE_SCOPE("pipeline.update");
+      IE_METRIC_COUNT("pipeline.updates");
       {
+        IE_TRACE_SCOPE("pipeline.retrain");
         CpuTimer timer;
         for (const LabeledExample& ex : buffer) {
           ranker->Observe(ex.features, ex.label > 0);
@@ -453,6 +473,7 @@ PipelineResult AdaptiveExtractionPipeline::Run(
   // Search-interface scenario: documents never retrieved by any query are
   // processed last, in random order (so metrics cover the full pool).
   if (config.access == AccessMode::kSearchInterface) {
+    IE_TRACE_SCOPE("pipeline.leftovers");
     std::vector<DocId> leftovers;
     for (DocId id : *context.pool) {
       if (processed.count(id) == 0) leftovers.push_back(id);
@@ -462,21 +483,74 @@ PipelineResult AdaptiveExtractionPipeline::Run(
   }
   result.extract_wall_seconds = extract_wall.ElapsedSeconds();
 
+  // Stamp the run-scoped counters from the exact per-run stats structs —
+  // not from the global registry, whose counters of the same names
+  // aggregate across concurrent runs. The result accessors
+  // (speculative_hits() etc.) read these, so they are written even when
+  // config.metrics_enabled is false.
   const ExtractExecutorStats executor_stats = executor.stats();
   result.extract_cpu_seconds =
       executor_stats.worker_cpu_seconds + executor_stats.inline_cpu_seconds;
-  result.speculative_hits = executor_stats.hits;
-  result.speculative_waits = executor_stats.waits;
-  result.speculative_misses = executor_stats.misses;
-  result.speculative_cancelled = executor_stats.cancelled;
+  result.metrics.SetCounter("executor.hits", executor_stats.hits);
+  result.metrics.SetCounter("executor.waits", executor_stats.waits);
+  result.metrics.SetCounter("executor.misses", executor_stats.misses);
+  result.metrics.SetCounter("executor.cancelled", executor_stats.cancelled);
 
   const RerankStats& rerank_stats = engine.stats();
-  result.full_rescores = rerank_stats.full_rescores;
-  result.delta_rescores = rerank_stats.delta_rescores;
-  result.rerank_density_fallbacks = rerank_stats.density_fallbacks;
-  result.delta_documents_rescored = rerank_stats.delta_documents_rescored;
+  result.metrics.SetCounter("rerank.full_rescores",
+                            rerank_stats.full_rescores);
+  result.metrics.SetCounter("rerank.delta_rescores",
+                            rerank_stats.delta_rescores);
+  result.metrics.SetCounter("rerank.density_fallbacks",
+                            rerank_stats.density_fallbacks);
+  result.metrics.SetCounter("rerank.delta_documents_rescored",
+                            rerank_stats.delta_documents_rescored);
+  result.metrics.SetCounter("pipeline.peak_buffer_examples",
+                            peak_buffer_examples);
+  result.metrics.SetCounter("pipeline.documents_processed",
+                            result.processing_order.size());
 
   result.final_model_features = ranker->NonZeroFeatureCount();
+  return result;
+}
+
+}  // namespace
+
+PipelineResult AdaptiveExtractionPipeline::Run(
+    const PipelineContext& context, const PipelineConfig& config) {
+  // Trace/metrics sessions wrap RunImpl so that by the time we export the
+  // trace and snapshot the registry, RunImpl's executor destructor has
+  // joined every worker thread (quiesced writers; race-free reads).
+  const bool tracing =
+      !config.trace_path.empty() &&
+      Tracer::Global().Start(config.trace_buffer_events);
+  if (!config.trace_path.empty() && !tracing) {
+    IE_LOG(kWarn) << "trace_path set but another trace session is active; "
+                     "skipping trace for this run";
+  }
+  MetricsSnapshot start;
+  if (config.metrics_enabled) {
+    start = MetricsRegistry::Global().Snapshot();
+  }
+
+  PipelineResult result = RunImpl(context, config);
+
+  if (config.metrics_enabled) {
+    MetricsSnapshot delta =
+        MetricsRegistry::Global().Snapshot().DeltaSince(start);
+    // Keep the exact run-scoped counters RunImpl stamped; fill everything
+    // else (histograms, gauges, macro-tallied counters) from the delta.
+    for (const auto& [name, value] : result.metrics.counters) {
+      delta.SetCounter(name, value);
+    }
+    result.metrics = std::move(delta);
+  }
+  if (tracing) {
+    const Status status = Tracer::Global().StopAndExport(config.trace_path);
+    if (!status.ok()) {
+      IE_LOG(kWarn) << "trace export failed: " << status.ToString();
+    }
+  }
   return result;
 }
 

@@ -82,6 +82,22 @@ struct PipelineConfig {
   size_t search_refresh_features = 100;  // paper: top-100 features
   size_t search_refresh_depth = 100;
 
+  /// Populate PipelineResult::metrics with this run's delta against the
+  /// process-wide MetricsRegistry (counters, gauges, latency histograms).
+  /// The exact run-scoped counters (rerank.*, executor.*) are stamped
+  /// regardless, so the result accessors always work. No-op when
+  /// IE_OBSERVABILITY is compiled out.
+  bool metrics_enabled = true;
+  /// When non-empty, the run records begin/end spans + counter tracks into
+  /// the global Tracer and writes a Chrome-trace/Perfetto JSON here
+  /// (validate with tools/check_trace.py). Skipped with a warning if
+  /// another trace session is already active. No-op when IE_OBSERVABILITY
+  /// is compiled out.
+  std::string trace_path;
+  /// Per-thread trace-buffer capacity in events; spans beyond it are
+  /// dropped whole (the export stays balanced) and counted.
+  size_t trace_buffer_events = 1 << 16;
+
   /// Builds a config with per-ranker detector defaults. Mod-C α keeps the
   /// paper's ordering (BAgg-IE above RSVM-IE; paper: 30° vs 5°) at
   /// thresholds recalibrated for these models' drift (6° vs 2°).

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace ie {
 
@@ -75,6 +77,8 @@ void RerankEngine::ScoreSlotFull(uint32_t slot) {
 }
 
 void RerankEngine::FullRescore() {
+  IE_TRACE_SCOPE("rerank.full");
+  IE_METRIC_COUNT("rerank.full_rescores");
   const std::vector<uint32_t> pending = PendingSlots();
   auto score_one = [&](size_t i) { ScoreSlotFull(pending[i]); };
   if (options_.allow_parallel_scoring && options_.scoring_threads > 1) {
@@ -115,8 +119,12 @@ bool RerankEngine::TryDeltaRescore() {
       options_.density_threshold * static_cast<double>(components_) *
           static_cast<double>(pending_postings_)) {
     ++stats_.density_fallbacks;
+    IE_METRIC_COUNT("rerank.density_fallbacks");
     return false;
   }
+  IE_TRACE_SCOPE("rerank.delta");
+  IE_METRIC_COUNT("rerank.delta_rescores");
+  IE_METRIC_COUNT_N("rerank.delta_posting_touches", posting_touches);
 
   const std::vector<uint32_t> pending = PendingSlots();
 
@@ -189,6 +197,7 @@ bool RerankEngine::TryDeltaRescore() {
   ++stats_.delta_rescores;
   stats_.delta_documents_rescored += corrected_count;
   stats_.delta_posting_touches += posting_touches;
+  IE_METRIC_COUNT_N("rerank.delta_documents_rescored", corrected_count);
   return true;
 }
 

@@ -1,12 +1,13 @@
 // PipelineResult: everything the evaluation layer needs from one
 // extraction run — the processing order with per-document usefulness, the
-// update log, and the cost decomposition (simulated extraction seconds +
-// measured ranking/detection overhead).
+// update log, the cost decomposition (simulated extraction seconds +
+// measured ranking/detection overhead), and a per-run MetricsSnapshot.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/metrics.h"
 #include "text/document.h"
 
 namespace ie {
@@ -45,28 +46,57 @@ struct PipelineResult {
   /// Measured CPU time spent training/scoring/sorting (ranking overhead).
   double ranking_cpu_seconds = 0.0;
 
+  /// Per-run view of the unified metrics registry (common/metrics.h):
+  /// counters/histograms are this run's delta against the process-wide
+  /// registry, with the run-scoped counters below stamped exactly from the
+  /// engine/executor stats structs. Empty when
+  /// PipelineConfig::metrics_enabled is false or IE_OBSERVABILITY is 0.
+  MetricsSnapshot metrics;
+
   /// Re-rank engine telemetry (see RerankStats in pipeline/rerank_engine.h):
   /// full scoring passes, incremental delta passes, delta passes abandoned
-  /// as too dense, and documents touched across all delta passes.
-  size_t full_rescores = 0;
-  size_t delta_rescores = 0;
-  size_t rerank_density_fallbacks = 0;
-  size_t delta_documents_rescored = 0;
+  /// as too dense, and documents touched across all delta passes. Thin
+  /// forwarding accessors into `metrics` — kept so bench/eval schemas
+  /// predating the metrics registry read the same numbers.
+  size_t full_rescores() const {
+    return static_cast<size_t>(metrics.CounterOr("rerank.full_rescores"));
+  }
+  size_t delta_rescores() const {
+    return static_cast<size_t>(metrics.CounterOr("rerank.delta_rescores"));
+  }
+  size_t rerank_density_fallbacks() const {
+    return static_cast<size_t>(metrics.CounterOr("rerank.density_fallbacks"));
+  }
+  size_t delta_documents_rescored() const {
+    return static_cast<size_t>(
+        metrics.CounterOr("rerank.delta_documents_rescored"));
+  }
 
   /// Speculative extraction executor telemetry (see
   /// pipeline/extract_executor.h): consumed results that were ready
   /// (hits), awaited in-flight (waits), computed inline (misses), and
   /// queued prefetches dropped on re-ranks (cancelled). A serial run is
   /// all misses. Timing-dependent — excluded from determinism comparisons.
-  size_t speculative_hits = 0;
-  size_t speculative_waits = 0;
-  size_t speculative_misses = 0;
-  size_t speculative_cancelled = 0;
+  size_t speculative_hits() const {
+    return static_cast<size_t>(metrics.CounterOr("executor.hits"));
+  }
+  size_t speculative_waits() const {
+    return static_cast<size_t>(metrics.CounterOr("executor.waits"));
+  }
+  size_t speculative_misses() const {
+    return static_cast<size_t>(metrics.CounterOr("executor.misses"));
+  }
+  size_t speculative_cancelled() const {
+    return static_cast<size_t>(metrics.CounterOr("executor.cancelled"));
+  }
 
   /// Peak size of the between-updates example buffer. Non-adaptive runs
   /// skip buffering entirely, so this stays 0 for them (regression guard
   /// against re-introducing unbounded feature-vector accumulation).
-  size_t peak_buffer_examples = 0;
+  size_t peak_buffer_examples() const {
+    return static_cast<size_t>(
+        metrics.CounterOr("pipeline.peak_buffer_examples"));
+  }
 
   /// Non-zero feature count of the final model (0 for rankers without one).
   size_t final_model_features = 0;

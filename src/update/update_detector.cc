@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace ie {
 
 void TopKDetector::OnModelUpdated(
@@ -22,9 +25,12 @@ bool TopKDetector::Observe(const SparseVector& features, bool useful,
   side_.Update(features, useful ? 1 : -1);
   if (++since_check_ < options_.check_interval) return false;
   since_check_ = 0;
+  IE_METRIC_COUNT("detector.checks");
   const std::vector<WeightedFeature> current =
       TopKFeatures(side_.DenseWeights(), options_.k);
   last_distance_ = GeneralizedFootrule(reference_topk_, current);
+  IE_METRIC_GAUGE_SET("detector.topk.footrule", last_distance_);
+  IE_TRACE_COUNTER("detector.topk.footrule", last_distance_);
   return last_distance_ > options_.tau;
 }
 
@@ -48,6 +54,9 @@ bool ModCDetector::Observe(const SparseVector& features, bool useful,
                                              frozen_weights_);
   last_angle_ =
       std::acos(std::clamp(cosine, -1.0, 1.0)) * 180.0 / M_PI;
+  IE_METRIC_COUNT("detector.checks");
+  IE_METRIC_GAUGE_SET("detector.modc.angle_degrees", last_angle_);
+  IE_TRACE_COUNTER("detector.modc.angle_degrees", last_angle_);
   return last_angle_ > options_.alpha_degrees;
 }
 
@@ -97,6 +106,9 @@ bool FeatSDetector::Observe(const SparseVector& features, bool useful,
   const double s = static_cast<double>(inlier_sum_) /
                    static_cast<double>(recent_inlier_.size());
   last_shift_ = 1.0 - s;
+  IE_METRIC_COUNT("detector.checks");
+  IE_METRIC_GAUGE_SET("detector.feats.shift", last_shift_);
+  IE_TRACE_COUNTER("detector.feats.shift", last_shift_);
   return last_shift_ > options_.threshold;
 }
 

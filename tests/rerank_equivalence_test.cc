@@ -47,16 +47,16 @@ TEST_P(RerankEquivalenceTest, IncrementalMatchesFullOrder) {
   EXPECT_EQ(full.processed_useful, incremental.processed_useful);
 
   // The full-mode run must never have taken a delta pass ...
-  EXPECT_EQ(full.delta_rescores, 0u);
+  EXPECT_EQ(full.delta_rescores(), 0u);
   // ... and the incremental run must have actually exercised the delta
   // path (not silently fallen back to full rescoring on every update) for
   // the equality above to mean anything. Only Wind-F's frequent small
   // batches are guaranteed sparse; Mod-C fires a handful of huge-batch
   // updates on this pool, where falling back is the intended behavior.
   if (update == UpdateKind::kWindF && incremental.NumUpdates() >= 5) {
-    EXPECT_GT(incremental.delta_rescores, 0u)
+    EXPECT_GT(incremental.delta_rescores(), 0u)
         << "every delta pass fell back: fallbacks="
-        << incremental.rerank_density_fallbacks;
+        << incremental.rerank_density_fallbacks();
   }
 }
 
@@ -99,7 +99,7 @@ TEST(RerankBufferTest, NonAdaptiveRunKeepsNoExampleBuffer) {
   const PipelineResult result = AdaptiveExtractionPipeline::Run(
       context, Config(RankerKind::kRSVMIE, UpdateKind::kNone, 11,
                       /*incremental=*/true));
-  EXPECT_EQ(result.peak_buffer_examples, 0u);
+  EXPECT_EQ(result.peak_buffer_examples(), 0u);
   EXPECT_EQ(result.NumUpdates(), 0u);
 }
 
@@ -112,8 +112,8 @@ TEST(RerankBufferTest, AdaptiveRunBuffersBetweenUpdates) {
   EXPECT_GT(result.NumUpdates(), 0u);
   // The buffer drains at every update, so its peak is bounded by the
   // largest between-updates interval, not the pool size.
-  EXPECT_GT(result.peak_buffer_examples, 0u);
-  EXPECT_LT(result.peak_buffer_examples, context.pool->size() / 2);
+  EXPECT_GT(result.peak_buffer_examples(), 0u);
+  EXPECT_LT(result.peak_buffer_examples(), context.pool->size() / 2);
 }
 
 }  // namespace

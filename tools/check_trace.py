@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validator for Chrome-trace JSON emitted by src/common/trace_export.cc.
+
+Checks, per file:
+
+  well-formed     parses as JSON with a top-level "traceEvents" list whose
+                  entries carry name/ph/ts/pid/tid of the right types
+  balanced        every 'B' has a matching 'E' on the same tid, properly
+                  nested (span ends close the most recent open begin with
+                  the same name), and no 'E' without an open 'B'
+  monotonic       timestamps never decrease within one tid (events are
+                  recorded append-only into per-thread buffers)
+  phases          only phases the exporter emits appear (B, E, I, C)
+
+Optionally asserts content with --require-span NAME (repeatable): the trace
+must contain at least one complete B/E pair with that name, and
+--require-counter NAME: at least one 'C' sample with that name.
+
+Usage: tools/check_trace.py TRACE.json [TRACE2.json ...]
+           [--require-span NAME]... [--require-counter NAME]...
+Exit status: 0 valid, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import json
+import sys
+
+ALLOWED_PHASES = {"B", "E", "I", "C"}
+
+
+def validate(path, require_spans, require_counters):
+    """Returns a list of finding strings for one trace file."""
+    findings = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return ["%s: unreadable or malformed JSON: %s" % (path, e)]
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["%s: no top-level 'traceEvents' list" % path]
+
+    open_spans = {}  # tid -> stack of open span names
+    last_ts = {}  # tid -> last timestamp seen
+    complete_spans = set()
+    counters = set()
+    for i, ev in enumerate(events):
+        where = "%s: event %d" % (path, i)
+        if not isinstance(ev, dict):
+            findings.append("%s: not an object" % where)
+            continue
+        name = ev.get("name")
+        phase = ev.get("ph")
+        ts = ev.get("ts")
+        tid = ev.get("tid")
+        if not isinstance(name, str) or not name:
+            findings.append("%s: missing/empty 'name'" % where)
+            continue
+        if phase not in ALLOWED_PHASES:
+            findings.append("%s (%s): unexpected phase %r" %
+                            (where, name, phase))
+            continue
+        if not isinstance(ts, (int, float)) or ts < 0:
+            findings.append("%s (%s): bad 'ts' %r" % (where, name, ts))
+            continue
+        if not isinstance(tid, int):
+            findings.append("%s (%s): bad 'tid' %r" % (where, name, tid))
+            continue
+        if "pid" not in ev:
+            findings.append("%s (%s): missing 'pid'" % (where, name))
+
+        if tid in last_ts and ts < last_ts[tid]:
+            findings.append(
+                "%s (%s): timestamp %s < previous %s on tid %d" %
+                (where, name, ts, last_ts[tid], tid))
+        last_ts[tid] = ts
+
+        stack = open_spans.setdefault(tid, [])
+        if phase == "B":
+            stack.append(name)
+        elif phase == "E":
+            if not stack:
+                findings.append("%s (%s): 'E' with no open span on tid %d" %
+                                (where, name, tid))
+            elif stack[-1] != name:
+                findings.append(
+                    "%s: 'E' for %r but innermost open span on tid %d "
+                    "is %r (misnested)" % (where, name, tid, stack[-1]))
+                stack.pop()
+            else:
+                stack.pop()
+                complete_spans.add(name)
+        elif phase == "C":
+            counters.add(name)
+            args = ev.get("args")
+            if not isinstance(args, dict) or not isinstance(
+                    args.get("value"), (int, float)):
+                findings.append(
+                    "%s (%s): 'C' without numeric args.value" % (where, name))
+
+    for tid, stack in sorted(open_spans.items()):
+        for name in stack:
+            findings.append("%s: span %r on tid %d never ended" %
+                            (path, name, tid))
+
+    for name in require_spans:
+        if name not in complete_spans:
+            findings.append("%s: required span %r not found" % (path, name))
+    for name in require_counters:
+        if name not in counters:
+            findings.append("%s: required counter %r not found" %
+                            (path, name))
+    return findings
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Validate Chrome-trace JSON emitted by ie::Tracer.")
+    parser.add_argument("traces", nargs="+", metavar="TRACE.json")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME",
+                        help="require a complete B/E pair with this name")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        metavar="NAME",
+                        help="require a 'C' sample with this name")
+    args = parser.parse_args(argv)
+
+    findings = []
+    for path in args.traces:
+        findings.extend(
+            validate(path, args.require_span, args.require_counter))
+    for finding in findings:
+        print(finding, file=sys.stderr)
+    if findings:
+        print("check_trace: %d finding(s)" % len(findings), file=sys.stderr)
+        return 1
+    print("check_trace: %d file(s) OK" % len(args.traces))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

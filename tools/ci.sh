@@ -42,12 +42,34 @@ step "bench_rerank smoke (incremental re-rank engine)"
 IE_BENCH_DOCS=4000 ./build-default/bench/bench_rerank \
     --benchmark_min_time=1x --benchmark_filter='/(1|8)$'
 
-step "bench_extract smoke (speculative extraction executor)"
+step "bench_extract smoke (speculative extraction executor + tracing)"
 # Serial + 2-thread live-extraction runs on a small corpus: proves the
 # executor engages (hit counters) and output stays byte-identical. The
-# ≥2.5x @ 8-thread gate self-skips below 8 hardware threads.
+# ≥2.5x @ 8-thread gate self-skips below 8 hardware threads. --trace adds
+# the observability smoke: traced 2-thread runs export a Chrome trace and
+# measure overhead against untraced runs (best-of-3 each).
 IE_BENCH_DOCS=4000 ./build-default/bench/bench_extract \
-    --threads=1,2 --out=build-default/BENCH_extract.json
+    --threads=1,2 --out=build-default/BENCH_extract.json \
+    --trace=build-default/trace_extract.json
+
+step "trace validation (tools/check_trace.py)"
+# The exported trace must be well-formed, balanced, and monotonic, and
+# must actually cover the hot phases: pipeline rank/consume/update spans,
+# executor task spans, and the queue-depth counter track.
+python3 tools/check_trace.py build-default/trace_extract.json \
+    --require-span pipeline.run --require-span pipeline.sample \
+    --require-span pipeline.warmup --require-span pipeline.rank \
+    --require-span pipeline.update --require-span executor.task \
+    --require-counter executor.queue_depth
+
+step "tracing overhead smoke (<= 10%)"
+python3 - build-default/BENCH_extract.json <<'EOF'
+import json, sys
+ratio = json.load(open(sys.argv[1]))["trace_overhead_ratio"]
+print("trace_overhead_ratio = %.3f" % ratio)
+if ratio > 1.10:
+    sys.exit("FAIL: traced run >10%% slower than untraced (%.3f)" % ratio)
+EOF
 
 if [ "$MODE" = "quick" ]; then
   echo; echo "CI quick: OK"; exit 0
@@ -56,6 +78,15 @@ fi
 step "strict warnings build (-Werror)"
 cmake --preset strict >/dev/null
 cmake --build build-strict -j "$JOBS"
+
+step "observability compiled out (IE_ENABLE_OBSERVABILITY=OFF)"
+# IE_TRACE_SCOPE / IE_METRIC_* must expand to no-ops: the whole tree
+# builds under -Werror with the instrumentation stripped and the full
+# suite stays green (per-run counter stamping keeps PipelineResult
+# accessors meaningful even without macro instrumentation).
+cmake --preset obs-off >/dev/null
+cmake --build build-obs-off -j "$JOBS"
+ctest --preset obs-off -j "$JOBS"
 
 step "sanitizer matrix (asan-ubsan, tsan)"
 tools/run_sanitized_tests.sh

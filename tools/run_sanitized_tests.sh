@@ -37,6 +37,12 @@ for preset in "${PRESETS[@]}"; do
     "build-$preset/tests/extract_parallel_test" \
         --gtest_filter='ExtractExecutorStress.*:WorkQueueTest.Concurrent*' \
         --gtest_repeat=5 --gtest_brief=1
+    # Metrics registry + tracer hammered from WorkQueue workers while a
+    # snapshotter reads concurrently (see tests/observability_test.cc).
+    echo "=== [$preset] observability stress (x5) ==="
+    "build-$preset/tests/observability_test" \
+        --gtest_filter='ObservabilityStress.*' \
+        --gtest_repeat=5 --gtest_brief=1
   fi
   echo "=== [$preset] OK ==="
 done
