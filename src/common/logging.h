@@ -9,6 +9,11 @@
 // messages happens only at whole-message granularity on glibc
 // (POSIX-locked FILE streams). Pinned by ObservabilityTest
 // ConcurrentLogLevelAndLogging under the tsan preset.
+//
+// In the static thread-safety model (DESIGN.md §11) logging is therefore
+// the one concurrent component with no capability at all: it owns no
+// mutex, guards no fields, and needs no annotations — there is nothing
+// for -Wthread-safety to check, by construction.
 #pragma once
 
 #include <cstdlib>

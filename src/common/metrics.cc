@@ -88,7 +88,7 @@ Histogram::Shard* Histogram::ThisThreadShard() {
   thread_local std::unordered_map<uint64_t, Shard*> cache;
   auto it = cache.find(id_);
   if (it != cache.end()) return it->second;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   shards_.push_back(std::make_unique<Shard>(bounds_.size() + 1));
   Shard* shard = shards_.back().get();
   cache.emplace(id_, shard);
@@ -133,7 +133,7 @@ HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snapshot;
   snapshot.bounds = bounds_;
   snapshot.counts.assign(bounds_.size() + 1, 0);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const std::unique_ptr<Shard>& shard : shards_) {
     const uint64_t n = shard->count.load(std::memory_order_relaxed);
     for (size_t i = 0; i < snapshot.counts.size(); ++i) {
@@ -361,7 +361,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -371,7 +371,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -381,7 +381,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -394,7 +394,7 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name,
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     snapshot.counters.emplace_back(name, counter->value());

@@ -24,13 +24,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/stats.h"
+#include "common/sync.h"
 
 #ifndef IE_OBSERVABILITY
 #define IE_OBSERVABILITY 1
@@ -92,16 +92,16 @@ class Histogram {
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// Merged shard view (without a name; the registry fills that in).
-  HistogramSnapshot Snapshot() const;
+  HistogramSnapshot Snapshot() const EXCLUDES(mu_);
 
  private:
   struct Shard;
-  Shard* ThisThreadShard();
+  Shard* ThisThreadShard() EXCLUDES(mu_);
 
   const uint64_t id_;  // process-unique; keys the thread-local shard cache
   std::vector<double> bounds_;
-  mutable std::mutex mu_;  // guards shards_ registration only
-  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable Mutex mu_;  // guards shards_ registration only
+  std::vector<std::unique_ptr<Shard>> shards_ GUARDED_BY(mu_);
 };
 
 /// Exponential 1-2-5 upper bounds from 1µs to 10s — the default scale for
@@ -154,19 +154,22 @@ class MetricsRegistry {
   /// The process-wide registry the IE_METRIC_* macros record into.
   static MetricsRegistry& Global();
 
-  Counter& GetCounter(std::string_view name);
-  Gauge& GetGauge(std::string_view name);
+  Counter& GetCounter(std::string_view name) EXCLUDES(mu_);
+  Gauge& GetGauge(std::string_view name) EXCLUDES(mu_);
   /// `bounds` applies only on first creation; empty = latency defaults.
   Histogram& GetHistogram(std::string_view name,
-                          std::vector<double> bounds = {});
+                          std::vector<double> bounds = {}) EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace ie

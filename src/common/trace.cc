@@ -80,7 +80,7 @@ Tracer& Tracer::Global() {
 }
 
 bool Tracer::Start(size_t capacity_per_thread) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (active_.load(std::memory_order_relaxed)) return false;
   // Safe to drop the previous session's buffers now: a new session only
   // starts once prior recording threads have quiesced (class contract).
@@ -94,7 +94,7 @@ bool Tracer::Start(size_t capacity_per_thread) {
 
 Status Tracer::StopAndExport(const std::string& path) {
   active_.store(false, std::memory_order_release);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (epoch_ns_ == 0 && buffers_.empty()) {
     return Status::FailedPrecondition("no trace session was started");
   }
@@ -116,7 +116,7 @@ TraceBuffer* Tracer::ThreadBuffer() {
   if (cached.buffer != nullptr && cached.generation == generation) {
     return cached.buffer;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!active_.load(std::memory_order_relaxed)) return nullptr;
   auto buffer = std::make_unique<TraceBuffer>(
       static_cast<uint32_t>(buffers_.size() + 1), capacity_, epoch_ns_);
@@ -130,7 +130,7 @@ TraceBuffer* Tracer::ThreadBuffer() {
 }
 
 size_t Tracer::dropped_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t dropped = 0;
   for (const auto& buffer : buffers_) dropped += buffer->dropped();
   return dropped;

@@ -19,12 +19,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"  // IE_OBSERVABILITY
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace ie {
 
@@ -86,33 +86,33 @@ class Tracer {
 
   /// Arms recording; false when a session is already active (the caller
   /// should then leave tracing to the session owner).
-  bool Start(size_t capacity_per_thread = kDefaultCapacity);
+  bool Start(size_t capacity_per_thread = kDefaultCapacity) EXCLUDES(mu_);
 
   bool active() const { return active_.load(std::memory_order_acquire); }
 
   /// Disarms recording and writes all buffered events as Chrome-trace JSON
   /// (implemented in trace_export.cc). No-op error if no session started.
-  Status StopAndExport(const std::string& path);
+  Status StopAndExport(const std::string& path) EXCLUDES(mu_);
 
   /// Disarms recording without exporting (test support).
   void Stop() { active_.store(false, std::memory_order_release); }
 
   /// This thread's buffer for the active session; null when inactive.
   /// The returned pointer is valid until the *next* Start().
-  TraceBuffer* ThreadBuffer();
+  TraceBuffer* ThreadBuffer() EXCLUDES(mu_);
 
   /// Events dropped across all buffers of the current/last session.
-  size_t dropped_events() const;
+  size_t dropped_events() const EXCLUDES(mu_);
 
  private:
   Tracer() = default;
 
   std::atomic<bool> active_{false};
   std::atomic<uint64_t> generation_{0};  // bumped by Start to spill caches
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
-  size_t capacity_ = kDefaultCapacity;
-  uint64_t epoch_ns_ = 0;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_ GUARDED_BY(mu_);
+  size_t capacity_ GUARDED_BY(mu_) = kDefaultCapacity;
+  uint64_t epoch_ns_ GUARDED_BY(mu_) = 0;
 };
 
 /// Writes `buffers` as a Chrome trace ({"traceEvents": [...]}) to `path`,

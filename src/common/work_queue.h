@@ -4,46 +4,56 @@
 // condition-variable based — the executor's unit of work (one document's
 // extraction) is orders of magnitude heavier than a lock handoff, so
 // lock-free machinery would buy nothing here.
+//
+// Lock discipline is stated with the capability annotations from
+// common/sync.h and proved at compile time under the `thread-safety`
+// preset (DESIGN.md §11): every queue field is GUARDED_BY(mu_), waits are
+// explicit `while` loops so the analysis sees predicate reads under the
+// lock, and the public surface EXCLUDES(mu_) — these methods must never
+// be called from a context already holding the queue's own lock.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <utility>
 
 #include "common/metrics.h"
+#include "common/sync.h"
 
 namespace ie {
 
 /// Unbounded multi-producer / multi-consumer FIFO queue of T with close
 /// semantics: Pop blocks until an item arrives or the queue is closed and
-/// drained. Push after Close is a silent no-op (shutdown races are benign).
+/// drained. Push after Close rejects the item (returns false) — shutdown
+/// races are benign, but the producer can observe the rejection.
 ///
 /// With set_latency_histogram() the queue records each item's
 /// enqueue-to-dequeue latency (seconds); without it no clocks are read.
 template <typename T>
 class WorkQueue {
  public:
-  void Push(T item) {
+  /// Enqueues `item`; false when the queue is already closed (the item is
+  /// dropped).
+  bool Push(T item) EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (closed_) return;
+      MutexLock lock(mu_);
+      if (closed_) return false;
       items_.push_back(
           Slot{std::move(item), latency_hist_ != nullptr ? NowNs() : 0});
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
+    return true;
   }
 
   /// Blocks for the next item. Returns false when the queue is closed and
   /// empty (the consumer should exit).
-  bool Pop(T* out) {
+  bool Pop(T* out) EXCLUDES(mu_) {
     uint64_t enqueue_ns = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      MutexLock lock(mu_);
+      while (!closed_ && items_.empty()) cv_.Wait(mu_);
       if (items_.empty()) return false;
       *out = std::move(items_.front().item);
       enqueue_ns = items_.front().enqueue_ns;
@@ -58,8 +68,8 @@ class WorkQueue {
   /// Removes every queued (not yet popped) item matching `pred`; returns
   /// how many were removed.
   template <typename Pred>
-  size_t RemoveIf(Pred pred) {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t RemoveIf(Pred pred) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     size_t removed = 0;
     for (auto it = items_.begin(); it != items_.end();) {
       if (pred(it->item)) {
@@ -72,16 +82,16 @@ class WorkQueue {
     return removed;
   }
 
-  void Close() {
+  void Close() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -103,33 +113,39 @@ class WorkQueue {
             .count());
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Slot> items_;
-  bool closed_ = false;
-  Histogram* latency_hist_ = nullptr;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Slot> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
+  Histogram* latency_hist_ = nullptr;  // set before threads start; unguarded
 };
 
 /// Single-use countdown latch (C++17 stand-in for std::latch): Wait blocks
-/// until CountDown has been called `count` times.
+/// until CountDown has been called `count` times. Further CountDowns are
+/// benign no-ops and never re-arm the latch; once released, every Wait —
+/// including repeated Waits from the same thread — returns immediately.
 class Latch {
  public:
   explicit Latch(size_t count) : count_(count) {}
 
-  void CountDown() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  void CountDown() EXCLUDES(mu_) {
+    bool released = false;
+    {
+      MutexLock lock(mu_);
+      if (count_ > 0 && --count_ == 0) released = true;
+    }
+    if (released) cv_.NotifyAll();
   }
 
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return count_ == 0; });
+  void Wait() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (count_ > 0) cv_.Wait(mu_);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t count_;
+  Mutex mu_;
+  CondVar cv_;
+  size_t count_ GUARDED_BY(mu_);
 };
 
 }  // namespace ie

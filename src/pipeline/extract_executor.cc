@@ -36,7 +36,7 @@ void ExtractExecutor::WorkerLoop() {
   while (queue_.Pop(&doc)) {
     IE_TRACE_COUNTER("executor.queue_depth", queue_.size());
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = cache_.find(doc);
       // Reclaimed by Take() or dropped by CancelQueued() after it was
       // queued but before we popped it.
@@ -55,7 +55,7 @@ void ExtractExecutor::WorkerLoop() {
     const double cpu = timer.ElapsedSeconds();
     IE_METRIC_HIST_OBSERVE("executor.task_seconds", cpu);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = cache_.find(doc);
       IE_CHECK(it != cache_.end() && it->second.state == State::kRunning);
       it->second.result = std::move(result);
@@ -64,14 +64,14 @@ void ExtractExecutor::WorkerLoop() {
       stats_.worker_cpu_seconds += cpu;
       ++stats_.tasks_executed;
     }
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
 }
 
 void ExtractExecutor::Prefetch(DocId doc) {
   if (!speculative()) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (cache_.size() >= options_.prefetch_window) return;
     if (!cache_.emplace(doc, Entry{}).second) return;  // already outstanding
   }
@@ -80,7 +80,7 @@ void ExtractExecutor::Prefetch(DocId doc) {
 
 LabeledExample ExtractExecutor::Take(DocId doc) {
   if (speculative()) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = cache_.find(doc);
     if (it != cache_.end()) {
       if (it->second.state == State::kQueued) {
@@ -94,10 +94,9 @@ LabeledExample ExtractExecutor::Take(DocId doc) {
           ++stats_.waits;
           IE_METRIC_COUNT("executor.waits");
           IE_TRACE_SCOPE("executor.wait");
-          done_cv_.wait(lock, [&] {
-            return cache_.find(doc)->second.state == State::kDone;
-          });
-          it = cache_.find(doc);
+          // Only this consumer inserts/erases cache_ entries, so the
+          // iterator survives the wait; workers flip the state in place.
+          while (it->second.state != State::kDone) done_cv_.Wait(mu_);
         } else {
           ++stats_.hits;
           IE_METRIC_COUNT("executor.hits");
@@ -113,7 +112,7 @@ LabeledExample ExtractExecutor::Take(DocId doc) {
       IE_METRIC_COUNT("executor.misses");
     }
   } else {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.misses;
     IE_METRIC_COUNT("executor.misses");
   }
@@ -123,7 +122,7 @@ LabeledExample ExtractExecutor::Take(DocId doc) {
   const double cpu = timer.ElapsedSeconds();
   IE_METRIC_HIST_OBSERVE("executor.task_seconds", cpu);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.inline_cpu_seconds += cpu;
   }
   return result;
@@ -133,7 +132,7 @@ size_t ExtractExecutor::CancelQueued() {
   if (!speculative()) return 0;
   std::unordered_set<DocId> dropped;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto it = cache_.begin(); it != cache_.end();) {
       if (it->second.state == State::kQueued) {
         dropped.insert(it->first);
@@ -153,7 +152,7 @@ size_t ExtractExecutor::CancelQueued() {
 }
 
 ExtractExecutorStats ExtractExecutor::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

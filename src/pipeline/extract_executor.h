@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/work_queue.h"
 #include "learn/binary_svm.h"  // LabeledExample
 #include "text/document.h"
@@ -64,19 +65,19 @@ class ExtractExecutor {
 
   /// Requests speculative extraction of `doc`. No-op when not speculative,
   /// already outstanding, or the window is full.
-  void Prefetch(DocId doc);
+  void Prefetch(DocId doc) EXCLUDES(mu_);
 
   /// Returns the extraction result for `doc`, consuming any speculative
   /// state: completed results are taken over, queued work is reclaimed and
   /// run inline, in-flight work is awaited. Exactly one Take per document.
-  LabeledExample Take(DocId doc);
+  LabeledExample Take(DocId doc) EXCLUDES(mu_);
 
   /// Drops all queued-but-not-started speculative work (typically after a
   /// re-rank invalidated the frontier). Running/completed work is kept —
   /// demoted documents' results are simply consumed later.
-  size_t CancelQueued();
+  size_t CancelQueued() EXCLUDES(mu_);
 
-  ExtractExecutorStats stats() const;
+  ExtractExecutorStats stats() const EXCLUDES(mu_);
 
  private:
   enum class State { kQueued, kRunning, kDone };
@@ -86,17 +87,20 @@ class ExtractExecutor {
     std::exception_ptr error;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
   WorkFn work_;
   ExtractExecutorOptions options_;
+  // Never acquired with mu_ held (and vice versa): queue operations stay
+  // outside the cache lock by design, so there is no lock order to get
+  // wrong between the queue's internal mutex and mu_ (DESIGN.md §11).
   WorkQueue<DocId> queue_;
   std::vector<std::thread> workers_;
 
-  mutable std::mutex mu_;
-  std::condition_variable done_cv_;
-  std::unordered_map<DocId, Entry> cache_;
-  ExtractExecutorStats stats_;
+  mutable Mutex mu_;
+  CondVar done_cv_;
+  std::unordered_map<DocId, Entry> cache_ GUARDED_BY(mu_);
+  ExtractExecutorStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace ie

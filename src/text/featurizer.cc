@@ -1,7 +1,6 @@
 #include "text/featurizer.h"
 
 #include <cmath>
-#include <mutex>
 #include <unordered_map>
 
 namespace ie {
@@ -17,11 +16,11 @@ inline uint64_t BigramKey(TokenId a, TokenId b) {
 uint32_t Featurizer::BigramFeatureId(TokenId a, TokenId b) const {
   const uint64_t key = BigramKey(a, b);
   {
-    std::shared_lock<std::shared_mutex> lock(bigram_mu_);
+    ReaderLock lock(bigram_mu_);
     auto it = bigram_ids_.find(key);
     if (it != bigram_ids_.end()) return it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(bigram_mu_);
+  WriterLock lock(bigram_mu_);
   auto it = bigram_ids_.find(key);
   if (it != bigram_ids_.end()) return it->second;
   const uint32_t id =

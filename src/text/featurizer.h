@@ -6,12 +6,12 @@
 #pragma once
 
 #include <cstdint>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "text/document.h"
 #include "text/sparse_vector.h"
 #include "text/vocabulary.h"
@@ -58,7 +58,7 @@ class Featurizer {
   /// Id of the bigram feature for adjacent tokens (a, b), via a cache
   /// keyed by the token-id pair — the hot path never rebuilds the
   /// "<term>_<term>" string (only a first-ever miss interns it).
-  uint32_t BigramFeatureId(TokenId a, TokenId b) const;
+  uint32_t BigramFeatureId(TokenId a, TokenId b) const EXCLUDES(bigram_mu_);
 
   /// Interns every adjacent-pair bigram of `doc` into the cache (no-op
   /// without use_bigrams). Called serially in document order before
@@ -86,9 +86,13 @@ class Featurizer {
   float default_idf_ = 3.0f;
 
   // (TokenId, TokenId) -> interned bigram feature id. Read-mostly after the
-  // warm pass; the shared_mutex only serializes first-ever misses.
-  mutable std::shared_mutex bigram_mu_;
-  mutable std::unordered_map<uint64_t, uint32_t> bigram_ids_;
+  // warm pass; the shared mutex only serializes first-ever misses. The
+  // double-checked interning in BigramFeatureId needs no analysis escape:
+  // the racy check runs under ReaderLock (shared suffices for reads) and
+  // the recheck-and-insert under WriterLock.
+  mutable SharedMutex bigram_mu_;
+  mutable std::unordered_map<uint64_t, uint32_t> bigram_ids_
+      GUARDED_BY(bigram_mu_);
 };
 
 }  // namespace ie

@@ -39,12 +39,15 @@ TEST(WorkQueueTest, PopReturnsFalseAfterCloseAndDrain) {
   EXPECT_FALSE(queue.Pop(&out));
 }
 
-TEST(WorkQueueTest, PushAfterCloseIsNoOp) {
+TEST(WorkQueueTest, PushAfterCloseIsRejected) {
   WorkQueue<int> queue;
+  EXPECT_TRUE(queue.Push(0));
   queue.Close();
-  queue.Push(1);
-  EXPECT_EQ(queue.size(), 0u);
-  int out = 0;
+  EXPECT_FALSE(queue.Push(1));
+  EXPECT_EQ(queue.size(), 1u);  // only the pre-close item remains
+  int out = -1;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 0);
   EXPECT_FALSE(queue.Pop(&out));
 }
 
@@ -86,6 +89,51 @@ TEST(WorkQueueTest, ConcurrentProducersConsumersDeliverEachItemOnce) {
   for (const auto& count : delivered) EXPECT_EQ(count.load(), 1);
 }
 
+TEST(WorkQueueTest, ConcurrentCloseReleasesBlockedPoppers) {
+  // Close() racing blocked Pop() waits: every popper must wake and exit,
+  // and the two pre-close items must both be delivered exactly once.
+  constexpr int kRounds = 25;
+  constexpr int kPoppers = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    WorkQueue<int> queue;
+    std::atomic<int> popped{0};
+    std::vector<std::thread> poppers;
+    for (int i = 0; i < kPoppers; ++i) {
+      poppers.emplace_back([&queue, &popped] {
+        int item = 0;
+        while (queue.Pop(&item)) popped.fetch_add(1);
+      });
+    }
+    queue.Push(1);
+    queue.Push(2);
+    queue.Close();  // races the poppers' blocking waits
+    for (std::thread& t : poppers) t.join();  // must not hang
+    EXPECT_EQ(popped.load(), 2);
+  }
+}
+
+TEST(WorkQueueTest, ConcurrentPushVsCloseNeverLosesAcceptedItems) {
+  // A Push that returns true is a delivery promise even when Close() lands
+  // mid-loop: everything accepted must still be drainable afterwards.
+  constexpr int kRounds = 25;
+  for (int round = 0; round < kRounds; ++round) {
+    WorkQueue<int> queue;
+    std::atomic<int> accepted{0};
+    std::thread producer([&queue, &accepted] {
+      for (int i = 0; i < 1000; ++i) {
+        if (queue.Push(i)) accepted.fetch_add(1);
+      }
+    });
+    std::thread closer([&queue] { queue.Close(); });
+    producer.join();
+    closer.join();
+    int drained = 0;
+    int item = 0;
+    while (queue.Pop(&item)) ++drained;
+    EXPECT_EQ(drained, accepted.load());
+  }
+}
+
 // ---- Latch -----------------------------------------------------------------
 
 TEST(LatchTest, WaitReleasesAfterAllCountDowns) {
@@ -108,6 +156,42 @@ TEST(LatchTest, ExtraCountDownsAreBenign) {
   latch.CountDown();
   latch.CountDown();
   latch.Wait();
+}
+
+TEST(LatchTest, ReleasedLatchNeverRearms) {
+  // A Latch is single-use: once the count hits zero it stays released, and
+  // CountDown past zero must not re-arm it or deadlock a later Wait.
+  Latch latch(2);
+  latch.CountDown();
+  latch.CountDown();
+  latch.Wait();
+  latch.CountDown();  // past zero
+  latch.Wait();       // must return immediately, not block
+}
+
+TEST(LatchTest, RepeatedWaitReturnsImmediately) {
+  Latch latch(1);
+  latch.CountDown();
+  for (int i = 0; i < 3; ++i) latch.Wait();
+}
+
+TEST(LatchTest, ConcurrentWaitersAllRelease) {
+  constexpr int kRounds = 25;
+  constexpr int kWaiters = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    Latch latch(kWaiters);
+    std::atomic<int> released{0};
+    std::vector<std::thread> waiters;
+    for (int i = 0; i < kWaiters; ++i) {
+      waiters.emplace_back([&latch, &released] {
+        latch.CountDown();  // waiters double as counters: max contention
+        latch.Wait();
+        released.fetch_add(1);
+      });
+    }
+    for (std::thread& t : waiters) t.join();  // must not hang
+    EXPECT_EQ(released.load(), kWaiters);
+  }
 }
 
 // ---- ExtractExecutor -------------------------------------------------------

@@ -1,0 +1,27 @@
+// VIOLATION — acquiring a mutex that is already held (self-deadlock with
+// std::mutex). Expected diagnostic: "acquiring mutex 'mu_' that is
+// already held".
+#include "common/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void DoubleLock() {
+    mu_.Lock();
+    mu_.Lock();  // BAD: already held
+    mu_.Unlock();
+    mu_.Unlock();
+  }
+
+ private:
+  ie::Mutex mu_;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.DoubleLock();
+  return 0;
+}

@@ -1,0 +1,32 @@
+// VIOLATION — calling an EXCLUDES(mu) function while holding mu (the
+// re-entrancy pattern EXCLUDES exists to forbid: with std::mutex underneath
+// this deadlocks at runtime). Expected diagnostic: "cannot call function
+// 'Outer' while mutex 'mu_' is held".
+#include "common/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Outer() EXCLUDES(mu_) {
+    ie::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  void Reentrant() {
+    ie::MutexLock lock(mu_);
+    Outer();  // BAD: mu_ held, Outer would lock it again
+  }
+
+ private:
+  ie::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Reentrant();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// VIOLATION — acquiring two mutexes against their declared ACQUIRED_BEFORE
+// order (the static lock-ordering hint; checked under -Wthread-safety-beta).
+// Expected diagnostic: "mutex 'first_' must be acquired before 'second_'"
+// / cycle warning from the beta analysis.
+#include "common/sync.h"
+
+namespace {
+
+class Ordered {
+ public:
+  void WrongOrder() {
+    ie::MutexLock b(second_);
+    ie::MutexLock a(first_);  // BAD: violates first_ ACQUIRED_BEFORE second_
+    ++both_;
+  }
+
+ private:
+  ie::Mutex first_ ACQUIRED_BEFORE(second_);
+  ie::Mutex second_;
+  int both_ GUARDED_BY(first_) GUARDED_BY(second_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ordered o;
+  o.WrongOrder();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// VIOLATION — a raw Lock() with no matching Unlock() on one path.
+// Expected diagnostic: "mutex 'mu_' is still held at the end of function".
+#include "common/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Leak() {
+    mu_.Lock();
+    ++value_;
+    // BAD: returns without mu_.Unlock()
+  }
+
+ private:
+  ie::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Leak();
+  return 0;
+}

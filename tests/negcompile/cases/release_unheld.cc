@@ -1,0 +1,23 @@
+// VIOLATION — releasing a mutex that is not held. Expected diagnostic:
+// "releasing mutex 'mu_' that was not held".
+#include "common/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void StrayUnlock() {
+    mu_.Unlock();  // BAD: never locked
+  }
+
+ private:
+  ie::Mutex mu_;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.StrayUnlock();
+  return 0;
+}

@@ -1,0 +1,27 @@
+// VIOLATION — calling a REQUIRES(mu) function without holding the mutex.
+// Expected diagnostic: "calling function 'UnsafeIncrement' requires
+// holding mutex 'mu_' exclusively".
+#include "common/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void UnsafeIncrement() REQUIRES(mu_) { ++value_; }
+
+  void Broken() {
+    UnsafeIncrement();  // BAD: mu_ not held
+  }
+
+ private:
+  ie::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Broken();
+  return 0;
+}

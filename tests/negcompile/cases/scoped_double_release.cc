@@ -1,0 +1,27 @@
+// VIOLATION — manually unlocking a mutex that a scoped MutexLock still
+// owns: the scope's destructor then releases it a second time. Expected
+// diagnostic: "releasing mutex 'mu_' that was not held" at end of scope.
+#include "common/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void DoubleRelease() {
+    ie::MutexLock lock(mu_);
+    ++value_;
+    mu_.Unlock();  // BAD: lock's destructor will release mu_ again
+  }
+
+ private:
+  ie::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.DoubleRelease();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// VIOLATION — writing a field guarded by a SharedMutex while holding only
+// the shared (reader) side. Expected diagnostic: "writing variable
+// 'value_' requires holding shared_mutex 'mu_' exclusively".
+#include "common/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void SneakyWrite() {
+    ie::ReaderLock lock(mu_);
+    value_ = 7;  // BAD: reader lock only permits reads
+  }
+
+ private:
+  ie::SharedMutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.SneakyWrite();
+  return 0;
+}

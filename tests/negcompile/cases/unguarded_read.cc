@@ -1,0 +1,24 @@
+// VIOLATION — reading a GUARDED_BY field without holding its mutex (reads
+// need at least a shared capability). Expected diagnostic: "reading
+// variable 'value_' requires holding mutex 'mu_'".
+#include "common/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  int Get() const {
+    return value_;  // BAD: mu_ not held
+  }
+
+ private:
+  mutable ie::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  return g.Get();
+}

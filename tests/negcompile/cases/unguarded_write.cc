@@ -1,0 +1,25 @@
+// VIOLATION — writing a GUARDED_BY field without holding its mutex.
+// Expected diagnostic: "writing variable 'value_' requires holding mutex
+// 'mu_' exclusively" [-Wthread-safety-analysis].
+#include "common/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Increment() {
+    ++value_;  // BAD: mu_ not held
+  }
+
+ private:
+  ie::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Increment();
+  return 0;
+}

@@ -1,0 +1,48 @@
+# Script-mode try_compile runner for one negative-compile case
+# (DESIGN.md §11). Invoked per case by ctest (see CMakeLists.txt here):
+#
+#   cmake -DCXX=<compiler> -DCASE=<file.cc> -DINCLUDE=<src dir>
+#         -DFLAGS=<;-list> -DEXPECT=FAIL|OK -P try_compile_case.cmake
+#
+# EXPECT=FAIL asserts the case does NOT compile *and* that the diagnostic
+# actually comes from the thread-safety analysis — a case dying of an
+# unrelated syntax error would otherwise masquerade as a pass and the
+# harness would prove nothing.
+# EXPECT=OK (the control case) asserts a correctly-locked translation unit
+# sails through the very same flag set.
+cmake_minimum_required(VERSION 3.16)
+
+foreach(var CXX CASE INCLUDE FLAGS EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "try_compile_case.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+separate_arguments(flag_list UNIX_COMMAND "${FLAGS}")
+
+execute_process(
+  COMMAND "${CXX}" -std=c++20 -fsyntax-only -Wall -Wextra ${flag_list}
+          "-I${INCLUDE}" "${CASE}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(EXPECT STREQUAL "OK")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "control case failed to compile — the harness "
+      "flags are broken, so the violation-case failures below prove "
+      "nothing:\n${out}${err}")
+  endif()
+  message(STATUS "control case compiles cleanly (as required)")
+  return()
+endif()
+
+if(rc EQUAL 0)
+  message(FATAL_ERROR "violation case ${CASE} COMPILED, but the analysis "
+    "must reject it — the thread-safety gate is not biting")
+endif()
+if(NOT "${out}${err}" MATCHES "thread-safety")
+  message(FATAL_ERROR "violation case ${CASE} failed to compile, but not "
+    "from the thread-safety analysis (wrong reason):\n${out}${err}")
+endif()
+message(STATUS "violation case rejected by -Wthread-safety (as required)")

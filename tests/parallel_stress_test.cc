@@ -6,12 +6,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/sync.h"
 #include "eval/experiment.h"
 #include "pipeline/pipeline.h"
 #include "test_util.h"
@@ -42,10 +42,10 @@ TEST(ParallelStressTest, RepeatedContendedCounters) {
 // must be exact regardless of interleaving.
 TEST(ParallelStressTest, MutexAggregationIsExact) {
   constexpr size_t kN = 10000;
-  std::mutex mu;
+  Mutex mu;
   uint64_t sum = 0;
   ParallelFor(kN, 8, [&](size_t i) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     sum += i;
   });
   EXPECT_EQ(sum, kN * (kN - 1) / 2);

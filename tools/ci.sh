@@ -13,6 +13,9 @@ MODE="${1:-full}"
 
 step() { echo; echo "━━━ $* ━━━"; }
 
+step "lint self-test (tools/lint_test.py)"
+python3 tools/lint_test.py
+
 step "lint (tools/lint.py)"
 python3 tools/lint.py
 
@@ -78,6 +81,31 @@ fi
 step "strict warnings build (-Werror)"
 cmake --preset strict >/dev/null
 cmake --build build-strict -j "$JOBS"
+
+step "thread-safety analysis + negcompile harness (clang)"
+# Compiles all of src/ with -Wthread-safety[-beta] promoted to errors and
+# runs the negative-compile cases (tests/negcompile/) that prove the
+# analysis rejects each encoded lock-discipline violation. Needs clang;
+# skipped (advisory) where only GCC is installed — hosted CI always runs it.
+if command -v clang++ >/dev/null 2>&1; then
+  cmake --preset thread-safety >/dev/null
+  cmake --build build-thread-safety -j "$JOBS"
+  ctest --test-dir build-thread-safety -R '^negcompile\.' \
+      --output-on-failure -j "$JOBS"
+else
+  echo "clang++ not installed; skipping (advisory — runs in hosted CI)"
+fi
+
+step "clang-tidy (concurrency-* as errors)"
+if command -v run-clang-tidy >/dev/null 2>&1 && \
+   command -v clang-tidy >/dev/null 2>&1; then
+  # The default preset exports compile_commands.json; .clang-tidy already
+  # promotes concurrency-* to errors.
+  run-clang-tidy -quiet -p build-default "^$(pwd)/src/.*" >/dev/null
+  echo "clang-tidy: OK"
+else
+  echo "run-clang-tidy not installed; skipping (advisory — runs in hosted CI)"
+fi
 
 step "observability compiled out (IE_ENABLE_OBSERVABILITY=OFF)"
 # IE_TRACE_SCOPE / IE_METRIC_* must expand to no-ops: the whole tree

@@ -13,6 +13,12 @@ Enforces repo-local correctness rules that compilers don't:
   naked-new          no naked new/delete in src/ — use std::make_unique /
                      containers / values (leaky singletons included; use a
                      Meyers static instead)
+  raw-mutex          no bare std:: sync primitives (mutex, shared_mutex,
+                     lock_guard, unique_lock, shared_lock, scoped_lock,
+                     condition_variable, ...) outside src/common/sync.h —
+                     use the capability-annotated ie::Mutex/SharedMutex/
+                     CondVar wrappers so Clang thread-safety analysis can
+                     prove lock discipline (DESIGN.md §11)
 
 Suppress a finding on one line with `// NOLINT(ie-<rule>)`.
 
@@ -34,7 +40,22 @@ DEFAULT_PATHS = ("src", "tests", "bench", "examples")
 # raw-random is allowed only in the RNG facade itself.
 RAW_RANDOM_ALLOWED = ("src/common/rng.h", "src/common/rng.cc")
 
+# raw-mutex is allowed only in the annotated sync facade itself.
+RAW_MUTEX_ALLOWED = ("src/common/sync.h",)
+RAW_MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*(?:recursive_mutex|recursive_timed_mutex|timed_mutex|"
+    r"mutex|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|"
+    r"shared_lock|scoped_lock|condition_variable_any|condition_variable)\b")
+
 NOLINT_RE = re.compile(r"//\s*NOLINT\(ie-([a-z-]+)\)")
+
+# A `"` opens a raw string literal when the code immediately before it is
+# an R / uR / UR / LR / u8R prefix that is itself a token start (not the
+# tail of a longer identifier: `FOOR"x"` is the identifier FOOR followed
+# by an ordinary string).
+RAW_STR_PREFIX_RE = re.compile(r"(?:^|[^A-Za-z0-9_])(?:u8|u|U|L)?R$")
+# d-char-seq: up to 16 chars, no parens/backslash/whitespace, then `(`.
+RAW_STR_DELIM_RE = re.compile(r"[^ ()\\\t\r\n\v\f]{0,16}\(")
 
 
 def strip_comments_and_strings(text):
@@ -58,6 +79,23 @@ def strip_comments_and_strings(text):
                 i += 2
                 continue
             if c == '"':
+                # Raw string literal? The prefix (R / uR / u8R / ...) was
+                # already emitted as code; escapes are inert inside it and
+                # it closes only at `)delim"`.
+                if RAW_STR_PREFIX_RE.search(text[max(0, i - 4):i]):
+                    dm = RAW_STR_DELIM_RE.match(text, i + 1)
+                    if dm:
+                        delim = text[i + 1:dm.end() - 1]
+                        close = text.find(')' + delim + '"', dm.end())
+                        end = n if close < 0 else close + len(delim) + 2
+                        out.append('"')
+                        for ch in text[i + 1:end - 1] if close >= 0 \
+                                else text[i + 1:end]:
+                            out.append("\n" if ch == "\n" else " ")
+                        if close >= 0:
+                            out.append('"')
+                        i = end
+                        continue
                 state = "string"
                 out.append('"')
                 i += 1
@@ -136,6 +174,14 @@ def check_file(path, findings):
             if not suppressed(raw_line, "using-namespace"):
                 findings.append((rel, idx, "using-namespace",
                                  "`using namespace` in a header"))
+
+        if rel not in RAW_MUTEX_ALLOWED and RAW_MUTEX_RE.search(line):
+            if not suppressed(raw_line, "raw-mutex"):
+                findings.append((rel, idx, "raw-mutex",
+                                 "bare std:: sync primitive; use the "
+                                 "capability-annotated wrappers in "
+                                 "src/common/sync.h (ie::Mutex, MutexLock, "
+                                 "CondVar, ...)"))
 
         if rel not in RAW_RANDOM_ALLOWED:
             if re.search(r"(?<![\w:.])s?rand\s*\(", line) or \

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint.py.
+
+Exercises the comment/string stripper (including the C++ raw-string
+handling that once confused it) and every lint rule, positive and
+negative, against synthetic files in a temp tree. Run directly or via
+tools/ci.sh; exit status 0 means the linter behaves as documented.
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lint  # noqa: E402
+
+
+def rules_for(path, text):
+    """Writes text at path (relative to the fake repo root), lints it, and
+    returns the sorted set of rule names found."""
+    ap = os.path.join(lint.REPO_ROOT, path)
+    os.makedirs(os.path.dirname(ap), exist_ok=True)
+    with open(ap, "w", encoding="utf-8") as f:
+        f.write(text)
+    findings = []
+    lint.check_file(ap, findings)
+    return sorted({rule for _, _, rule, _ in findings})
+
+
+class LintTestBase(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="lint_test_")
+        self._saved_root = lint.REPO_ROOT
+        lint.REPO_ROOT = self._tmp.name
+
+    def tearDown(self):
+        lint.REPO_ROOT = self._saved_root
+        self._tmp.cleanup()
+
+
+class StripTest(LintTestBase):
+    def strip(self, text):
+        return lint.strip_comments_and_strings(text)
+
+    def test_line_and_block_comments_blanked(self):
+        s = self.strip("int x; // new Foo\n/* delete p; */ int y;\n")
+        self.assertNotIn("new", s)
+        self.assertNotIn("delete", s)
+        self.assertIn("int x;", s)
+        self.assertIn("int y;", s)
+
+    def test_ordinary_string_contents_blanked(self):
+        s = self.strip('auto s = "std::mutex mu; new Foo";\n')
+        self.assertNotIn("mutex", s)
+        self.assertNotIn("new", s)
+
+    def test_raw_string_contents_blanked(self):
+        s = self.strip('auto s = R"(std::mutex mu; new Foo)";\nint z;\n')
+        self.assertNotIn("mutex", s)
+        self.assertNotIn("new", s)
+        self.assertIn("int z;", s)
+
+    def test_raw_string_with_delimiter(self):
+        # The inner )" must NOT close a delimited raw string.
+        s = self.strip('auto s = R"x(a )" b new C)x"; int after;\n')
+        self.assertNotIn("new", s)
+        self.assertIn("int after;", s)
+
+    def test_raw_string_quote_inside_does_not_flip_state(self):
+        # A `"` inside the raw string must not open a phantom string state
+        # that swallows the following code.
+        s = self.strip('auto s = R"(say "hi")";\nint visible = 1;\n')
+        self.assertIn("int visible = 1;", s)
+
+    def test_raw_string_preserves_line_count(self):
+        text = 'auto s = R"(line1\nline2\nline3)";\nint q;\n'
+        s = self.strip(text)
+        self.assertEqual(s.count("\n"), text.count("\n"))
+        self.assertIn("int q;", s)
+
+    def test_encoding_prefixes(self):
+        for prefix in ("u8R", "uR", "UR", "LR"):
+            s = self.strip(f'auto s = {prefix}"(new Foo)";\n')
+            self.assertNotIn("new", s, msg=prefix)
+
+    def test_identifier_ending_in_r_is_not_a_raw_prefix(self):
+        # FOOR"..." is the identifier FOOR then an ordinary string: the
+        # quote inside would end it early if misparsed as raw.
+        s = self.strip('auto s = FOOR"abc";\nint keep;\n')
+        self.assertIn("FOOR", s)
+        self.assertIn("int keep;", s)
+
+    def test_unterminated_raw_string_blanks_to_eof(self):
+        s = self.strip('auto s = R"(never closed\nnew Foo\n')
+        self.assertNotIn("new", s)
+
+    def test_escaped_quote_in_ordinary_string(self):
+        s = self.strip('auto s = "a\\"b new c"; int tail;\n')
+        self.assertNotIn("new", s)
+        self.assertIn("int tail;", s)
+
+
+class RulesTest(LintTestBase):
+    def test_pragma_once_missing(self):
+        self.assertIn("pragma-once", rules_for("src/a.h", "int f();\n"))
+
+    def test_pragma_once_present(self):
+        self.assertEqual(rules_for("src/a.h", "#pragma once\nint f();\n"), [])
+
+    def test_using_namespace_in_header(self):
+        text = "#pragma once\nusing namespace std;\n"
+        self.assertIn("using-namespace", rules_for("src/b.h", text))
+
+    def test_raw_random_flagged_and_allowlisted(self):
+        text = "int f() { return rand(); }\n"
+        self.assertIn("raw-random", rules_for("src/c.cc", text))
+        self.assertEqual(rules_for("src/common/rng.cc", text), [])
+
+    def test_naked_new_only_in_src(self):
+        text = "auto* p = new int(3);\n"
+        self.assertIn("naked-new", rules_for("src/d.cc", text))
+        self.assertEqual(rules_for("tests/d_test.cc", text), [])
+
+    def test_raw_mutex_flagged_everywhere(self):
+        for path in ("src/e.cc", "tests/e_test.cc", "bench/e_bench.cc"):
+            self.assertIn(
+                "raw-mutex",
+                rules_for(path, "std::mutex mu;\n"), msg=path)
+
+    def test_raw_mutex_variants(self):
+        for decl in ("std::shared_mutex m;",
+                     "std::lock_guard<std::mutex> l(m);",
+                     "std::unique_lock<std::mutex> l(m);",
+                     "std::shared_lock<std::shared_mutex> l(m);",
+                     "std::scoped_lock l(m);",
+                     "std::condition_variable cv;",
+                     "std::condition_variable_any cv;",
+                     "std::recursive_mutex rm;"):
+            self.assertIn("raw-mutex", rules_for("src/f.cc", decl + "\n"),
+                          msg=decl)
+
+    def test_raw_mutex_allowlisted_in_sync_facade(self):
+        text = "#pragma once\nstd::mutex mu_;\n"
+        self.assertEqual(rules_for("src/common/sync.h", text), [])
+
+    def test_raw_mutex_not_fooled_by_lookalikes(self):
+        for line in ("ie::Mutex mu;", "MutexLock lock(mu);",
+                     "// std::mutex in a comment",
+                     'auto s = "std::mutex in a string";'):
+            self.assertEqual(rules_for("src/g.cc", line + "\n"), [], msg=line)
+
+    def test_raw_mutex_in_raw_string_not_flagged(self):
+        # Regression: before the raw-string fix the stripper lost sync
+        # after R"(...)" and leaked literal contents into "code".
+        text = 'auto doc = R"(use std::mutex here)";\n'
+        self.assertEqual(rules_for("src/h.cc", text), [])
+
+    def test_code_after_raw_string_still_linted(self):
+        # Regression: the misparse could also blank REAL code after a raw
+        # string (the phantom string state), hiding genuine findings.
+        text = 'auto doc = R"(say "hi")";\nstd::mutex mu;\n'
+        self.assertEqual(rules_for("src/i.cc", text), ["raw-mutex"])
+
+    def test_nolint_suppression(self):
+        for rule, line in (
+                ("raw-mutex", "std::mutex mu;  // NOLINT(ie-raw-mutex)"),
+                ("naked-new", "auto* p = new int;  // NOLINT(ie-naked-new)"),
+                ("raw-random", "int x = rand();  // NOLINT(ie-raw-random)")):
+            self.assertEqual(rules_for("src/j.cc", line + "\n"), [], msg=rule)
+
+    def test_nolint_wrong_rule_does_not_suppress(self):
+        text = "std::mutex mu;  // NOLINT(ie-naked-new)\n"
+        self.assertEqual(rules_for("src/k.cc", text), ["raw-mutex"])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
