@@ -1,3 +1,5 @@
+// detlint: export-path — MetricsSnapshot::AppendJson emits machine-parsed
+// JSON; floating values go through AppendJsonNumber (DESIGN.md §12).
 #include "common/metrics.h"
 
 #include <algorithm>
@@ -6,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace ie {
 
@@ -41,11 +44,7 @@ void AppendEscaped(std::string* out, std::string_view s) {
   }
 }
 
-void AppendDouble(std::string* out, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
-  *out += buf;
-}
+void AppendDouble(std::string* out, double v) { AppendJsonNumber(out, v); }
 
 void AppendUint(std::string* out, uint64_t v) {
   char buf[32];

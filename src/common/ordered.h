@@ -1,0 +1,116 @@
+// Deterministic-iteration facade over the unordered associative containers
+// (DESIGN.md §12). Hash-map iteration order is an implementation detail —
+// it varies across standard libraries, hash seeds, and even insertion
+// histories — so any value that *flows out* of an unordered container in
+// iteration order (processing orders, float accumulations, serialized
+// output) is a silent nondeterminism hazard. The detlint `unordered-
+// iteration` rule (tools/lint.py) forbids iterating unordered containers
+// anywhere in src/ except through this facade or under an explicit
+//   // DETERMINISM: order-insensitive (<reason>)
+// waiver that argues why the result cannot depend on the order.
+//
+// The adapters are allocation-light: one vector of pointers into the
+// container (no key/value copies), sorted by key.
+#pragma once
+
+#include <algorithm>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ie {
+
+namespace internal {
+
+// Maps have a pair value_type whose `first` is the key; sets are their own
+// keys. `KeyOf` picks the sort key for either shape.
+template <typename ValueType>
+struct IsKeyValuePair : std::false_type {};
+template <typename K, typename V>
+struct IsKeyValuePair<std::pair<const K, V>> : std::true_type {};
+
+template <typename ValueType>
+const auto& KeyOf(const ValueType& v) {
+  if constexpr (IsKeyValuePair<ValueType>::value) {
+    return v.first;
+  } else {
+    return v;
+  }
+}
+
+template <typename Container>
+std::vector<const typename Container::value_type*> SortedPointers(
+    const Container& container) {
+  std::vector<const typename Container::value_type*> items;
+  items.reserve(container.size());
+  for (auto it = container.begin(); it != container.end(); ++it) {
+    items.push_back(&*it);
+  }
+  std::sort(items.begin(), items.end(), [](const auto* a, const auto* b) {
+    return KeyOf(*a) < KeyOf(*b);
+  });
+  return items;
+}
+
+}  // namespace internal
+
+/// Calls `fn` for every element of an unordered map/set in ascending key
+/// order. For maps fn(key, mapped_value); for sets fn(key). Keys must be
+/// `<`-comparable (all keys in this codebase: integer ids and strings).
+template <typename Container, typename Fn>
+void ForEachSorted(const Container& container, Fn&& fn) {
+  for (const auto* item : internal::SortedPointers(container)) {
+    if constexpr (internal::IsKeyValuePair<
+                      typename Container::value_type>::value) {
+      fn(item->first, item->second);
+    } else {
+      fn(*item);
+    }
+  }
+}
+
+/// The container's keys in ascending order (one copy per key). For maps
+/// this is the key set; for sets, the sorted elements.
+template <typename Container>
+auto SortedKeys(const Container& container) {
+  using Key = std::remove_cv_t<std::remove_reference_t<decltype(
+      internal::KeyOf(*container.begin()))>>;
+  std::vector<Key> keys;
+  keys.reserve(container.size());
+  for (const auto* item : internal::SortedPointers(container)) {
+    keys.push_back(internal::KeyOf(*item));
+  }
+  return keys;
+}
+
+/// Pointers to the container's elements in ascending key order — for
+/// callers that need values too but should not copy them. The pointers are
+/// invalidated by any mutation of the container.
+template <typename Container>
+std::vector<const typename Container::value_type*> SortedItems(
+    const Container& container) {
+  return internal::SortedPointers(container);
+}
+
+/// Left-to-right sequential sum over a range of floating values. The
+/// result is bit-identical for a given element order no matter how many
+/// threads the surrounding code uses — which is the point: the detlint
+/// `float-reduce` rule steers floating reductions in parallel-aware files
+/// here, so the fixed association order is explicit and cannot be silently
+/// parallelized or reassociated later.
+template <typename Iterator,
+          typename T = typename std::iterator_traits<Iterator>::value_type>
+T FixedOrderSum(Iterator begin, Iterator end, T init = T{}) {
+  T sum = init;
+  for (Iterator it = begin; it != end; ++it) sum += *it;
+  return sum;
+}
+
+template <typename Range>
+auto FixedOrderSum(const Range& range) {
+  using T = std::remove_cv_t<
+      std::remove_reference_t<decltype(*std::begin(range))>>;
+  return FixedOrderSum(std::begin(range), std::end(range), T{});
+}
+
+}  // namespace ie

@@ -1,8 +1,11 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <system_error>
 
 namespace ie {
 
@@ -61,6 +64,45 @@ std::string StrFormat(const char* fmt, ...) {
     std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
   }
   va_end(args_copy);
+  return out;
+}
+
+void AppendFormattedDouble(std::string* out, double value) {
+  if (std::isnan(value)) {
+    out->append("nan");
+    return;
+  }
+  if (std::isinf(value)) {
+    out->append(value < 0.0 ? "-inf" : "inf");
+    return;
+  }
+  // std::to_chars is locale-independent by specification and emits the
+  // shortest decimal string that parses back to exactly `value` — the two
+  // properties %g/%f/to_string cannot give (they honor LC_NUMERIC and
+  // truncate to a fixed precision). 32 chars covers the worst case
+  // (-2.2250738585072014e-308 is 24).
+  char buf[32];
+  const auto rc = std::to_chars(buf, buf + sizeof(buf), value);
+  out->append(buf, rc.ptr);
+}
+
+std::string FormatDouble(double value) {
+  std::string out;
+  AppendFormattedDouble(&out, value);
+  return out;
+}
+
+void AppendJsonNumber(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    out->append("null");
+    return;
+  }
+  AppendFormattedDouble(out, value);
+}
+
+std::string FormatJsonNumber(double value) {
+  std::string out;
+  AppendJsonNumber(&out, value);
   return out;
 }
 

@@ -5,10 +5,13 @@
 //   I    instant (thread-scoped)   + "s":"t"
 //   C    counter sample            + "args":{"value": v}
 // Timestamps are microseconds with sub-µs precision kept as decimals.
+// detlint: export-path — all floating values go through AppendJsonNumber
+// (locale-independent, round-trip exact; see DESIGN.md §12).
 #include <cinttypes>
 #include <cstdio>
 #include <vector>
 
+#include "common/string_util.h"
 #include "common/trace.h"
 
 namespace ie {
@@ -48,8 +51,9 @@ void AppendEvent(std::string* out, const TraceEvent& ev, uint32_t tid,
   if (ev.phase == 'I') {
     out->append(", \"s\": \"t\"");
   } else if (ev.phase == 'C') {
-    std::snprintf(buf, sizeof(buf), ", \"args\": {\"value\": %.9g}", ev.value);
-    out->append(buf);
+    out->append(", \"args\": {\"value\": ");
+    AppendJsonNumber(out, ev.value);
+    out->append("}");
   }
   out->push_back('}');
 }

@@ -40,6 +40,8 @@ void HmmNer::Train(const std::vector<TaggedSentence>& data) {
         static_cast<double>(emission[y].size()) + 1.0;  // +1 OOV bucket
     log_emission_[y].clear();
     double singletons = 0.0;
+    // DETERMINISM: order-insensitive (each token's log-prob depends only
+    // on its own count; the singleton tally adds exact integral 1.0s)
     for (const auto& [token, count] : emission[y]) {
       log_emission_[y][token] =
           std::log((count + 1.0) / (state_totals[y] + vocab_size));

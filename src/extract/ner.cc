@@ -44,6 +44,8 @@ GazetteerNer::GazetteerNer(EntityType type,
     index_[ids[0]].push_back(std::move(ids));
     ++num_entries_;
   }
+  // DETERMINISM: order-insensitive (each bucket is sorted independently;
+  // no state crosses buckets)
   for (auto& [first, candidates] : index_) {
     std::sort(candidates.begin(), candidates.end(),
               [](const auto& a, const auto& b) { return a.size() > b.size(); });

@@ -22,6 +22,8 @@ Status InvertedIndex::Add(const Document& doc) {
   }
   doc_lengths_[doc.id] = length;
   total_length_ += length;
+  // DETERMINISM: order-insensitive (each term gets exactly one posting per
+  // document, so per-term posting lists stay in Add() call order)
   for (const auto& [term, count] : tf) {
     postings_[term].push_back({doc.id, count});
     ++num_postings_;
@@ -58,6 +60,8 @@ std::vector<SearchHit> InvertedIndex::Search(
 
   std::vector<SearchHit> hits;
   hits.reserve(scores.size());
+  // DETERMINISM: order-insensitive (scores were accumulated in query-term
+  // order; hits are fully re-sorted below with a doc-id tie-break)
   for (const auto& [doc, score] : scores) {
     hits.push_back({doc, static_cast<float>(score)});
   }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/ordered.h"
+
 namespace ie {
 
 std::vector<WeightedFeature> TopKFeatures(const WeightVector& w, size_t k) {
@@ -48,9 +50,11 @@ double GeneralizedFootrule(const std::vector<WeightedFeature>& a,
     sum_b += b[i].weight;
   }
   if (sum_a > 0.0) {
+    // DETERMINISM: order-insensitive (element-wise in-place scaling)
     for (auto& [id, w] : wa) w /= sum_a;
   }
   if (sum_b > 0.0) {
+    // DETERMINISM: order-insensitive (element-wise in-place scaling)
     for (auto& [id, w] : wb) w /= sum_b;
   }
 
@@ -71,15 +75,17 @@ double GeneralizedFootrule(const std::vector<WeightedFeature>& a,
     const double vb = itb == wb.end() ? 0.0 : itb->second;
     return 0.5 * (va + vb);
   };
-  for (const auto& [id, pos] : rank_a) {
+  // Sorted visit order: `items` ordering flows into the final floating
+  // accumulation below, so it must not depend on hash-iteration order.
+  ForEachSorted(rank_a, [&](uint32_t id, size_t pos) {
     const auto itb = rank_b.find(id);
     items.push_back(
         {id, combined(id), pos, itb == rank_b.end() ? tail_b : itb->second});
-  }
-  for (const auto& [id, pos] : rank_b) {
-    if (rank_a.count(id) > 0) continue;  // already added via list a
+  });
+  ForEachSorted(rank_b, [&](uint32_t id, size_t pos) {
+    if (rank_a.count(id) > 0) return;  // already added via list a
     items.push_back({id, combined(id), tail_a, pos});
-  }
+  });
 
   // Prefix weight sums in each ranking order.
   auto prefix_for = [&](bool use_a) {

@@ -133,6 +133,8 @@ size_t ExtractExecutor::CancelQueued() {
   std::unordered_set<DocId> dropped;
   {
     MutexLock lock(mu_);
+    // DETERMINISM: order-insensitive (erase-if over the cache; the set of
+    // queued entries removed does not depend on visit order)
     for (auto it = cache_.begin(); it != cache_.end();) {
       if (it->second.state == State::kQueued) {
         dropped.insert(it->first);

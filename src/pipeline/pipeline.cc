@@ -313,6 +313,8 @@ PipelineResult RunImpl(const PipelineContext& context,
   // into the engine, which appends them to the same tie-break order.
   std::vector<DocId> remaining;
   RerankEngine* engine_ptr = nullptr;
+  // DETERMINISM: order-insensitive (set-to-set copy; only membership is
+  // ever read from in_pool)
   std::unordered_set<DocId> in_pool(processed.begin(), processed.end());
   auto add_candidate = [&](DocId id) {
     if (!in_pool.insert(id).second) return;
@@ -438,7 +440,9 @@ PipelineResult RunImpl(const PipelineContext& context,
       const std::unordered_set<uint32_t> support =
           WeightSupport(ranker->ModelWeights());
       size_t added = 0, removed = 0;
+      // DETERMINISM: order-insensitive (integer membership counting)
       for (uint32_t f : support) added += prev_support.count(f) == 0;
+      // DETERMINISM: order-insensitive (integer membership counting)
       for (uint32_t f : prev_support) removed += support.count(f) == 0;
       result.features_added_per_update.push_back(added);
       result.features_removed_per_update.push_back(removed);
@@ -511,6 +515,12 @@ PipelineResult RunImpl(const PipelineContext& context,
                             result.processing_order.size());
 
   result.final_model_features = ranker->NonZeroFeatureCount();
+  // Final model snapshot, id-sorted (ForEachNonZero walks the dense
+  // weight array in id order): the determinism golden test hashes this so
+  // weight-level nondeterminism fails loudly, not just order-level.
+  ranker->ModelWeights().ForEachNonZero([&result](uint32_t id, double w) {
+    result.final_weights.emplace_back(id, w);
+  });
   return result;
 }
 

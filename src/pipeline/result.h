@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
@@ -100,6 +101,11 @@ struct PipelineResult {
 
   /// Non-zero feature count of the final model (0 for rankers without one).
   size_t final_model_features = 0;
+  /// The final model's non-zero weights, ascending by feature id (empty
+  /// for rankers without a weight vector). Deterministic for a given
+  /// config+seed at any thread count; the golden-hash determinism test
+  /// (tests/determinism_golden_test.cc) folds these into its digest.
+  std::vector<std::pair<uint32_t, double>> final_weights;
   /// Features added/removed across updates (feature-churn telemetry).
   std::vector<size_t> features_added_per_update;
   std::vector<size_t> features_removed_per_update;

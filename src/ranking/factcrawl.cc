@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/ordered.h"
+
 namespace ie {
 
 void FactCrawl::AddQuery(const std::string& term, QueryMethod method) {
@@ -49,7 +51,9 @@ std::vector<DocId> FactCrawl::EvaluateQueries(
       consumed.insert(hit.doc);
     }
   }
-  return {consumed.begin(), consumed.end()};
+  // The evaluated documents flow straight into the caller's processing
+  // order: return them doc-id-sorted, not in hash-iteration order.
+  return SortedKeys(consumed);
 }
 
 double FactCrawl::FBeta(const QueryStats& q,
@@ -98,6 +102,8 @@ const std::unordered_map<DocId, double>& FactCrawl::RecomputeScores() {
   }
 
   scores_.clear();
+  // DETERMINISM: order-insensitive (each doc's score is computed from its
+  // own query list and written to its own key; no cross-doc accumulation)
   for (const auto& [doc, query_indices] : doc_queries_) {
     double s = 0.0;
     for (uint32_t qi : query_indices) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/ordered.h"
 #include "common/rng.h"
 
 namespace ie {
@@ -83,8 +84,10 @@ std::vector<std::string> LearnQueries(
   const size_t n_neg = n_all - n_pos;
   if (n_pos == 0 || n_neg == 0) return {};
 
+  // Sorted visit order so `scored` is built identically on every standard
+  // library (RankTerms breaks score ties by id, but why rely on it).
   std::vector<std::pair<uint32_t, double>> scored;
-  for (const auto& [id, all_count] : df_all) {
+  ForEachSorted(df_all, [&](uint32_t id, double all_count) {
     const double pos_count =
         df_pos.count(id) > 0 ? df_pos.at(id) : 0.0;
     const double neg_count = all_count - pos_count;
@@ -102,7 +105,7 @@ std::vector<std::string> LearnQueries(
         scored.emplace_back(id, pos_count / (all_count + 5.0));
       }
     }
-  }
+  });
   return RankTerms(scored, vocab, num_terms);
 }
 

@@ -56,6 +56,8 @@ void Featurizer::CollectEntries(
     }
   }
   entries.reserve(entries.size() + counts.size());
+  // DETERMINISM: order-insensitive (one entry per feature id, value
+  // independent of visit order; FromUnsorted re-sorts entries by id)
   for (const auto& [id, tf] : counts) {
     const float value =
         options_.log_tf ? 1.0f + std::log(tf) : tf;

@@ -1,0 +1,33 @@
+// Control: the sanctioned way to do everything the violation cases do
+// wrong — ordered facade for iteration, FixedOrderSum for the floating
+// reduction, FormatJsonNumber in the export path, stable integer keys.
+// Must lint clean with zero waivers or suppressions.
+// detlint: export-path
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ordered.h"
+#include "common/parallel.h"
+#include "common/string_util.h"
+
+std::unordered_map<int, double> counts;
+
+double Sum() {
+  double total = 0.0;
+  ie::ForEachSorted(counts, [&](int /*key*/, double value) {
+    total += value;
+  });
+  return total;
+}
+
+double Total(const std::vector<double>& xs) {
+  return ie::FixedOrderSum(xs.begin(), xs.end(), 0.0);
+}
+
+std::string ExportValue(double value) {
+  std::string out = "{\"value\": ";
+  ie::AppendJsonNumber(&out, value);
+  out += "}";
+  return out;
+}

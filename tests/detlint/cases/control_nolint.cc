@@ -1,0 +1,17 @@
+// Control: a per-site NOLINT escape naming the exact rule it silences.
+// The escape is scoped to one line and one rule id; this file must lint
+// clean, proving targeted suppression works without blanket opt-outs.
+#include <unordered_map>
+
+struct Interned {
+  int id;
+};
+
+// Interning table keyed by the singleton's address; ids are assigned from
+// a counter, never from the address itself.
+std::unordered_map<const Interned*, int> ids;  // NOLINT(ie-pointer-key)
+
+int IdOf(const Interned* object) {
+  auto it = ids.find(object);
+  return it == ids.end() ? -1 : it->second;
+}

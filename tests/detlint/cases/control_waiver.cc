@@ -1,0 +1,16 @@
+// Control: an unordered-container loop carrying a justified waiver —
+// the reason is present (and wraps across comment lines, which the rule
+// must tolerate). Must lint clean.
+#include <unordered_map>
+
+std::unordered_map<int, long> tally;
+
+long Count() {
+  long total = 0;
+  // DETERMINISM: order-insensitive (integer addition commutes exactly; the
+  // total is independent of visit order)
+  for (const auto& [key, value] : tally) {
+    total += value;
+  }
+  return total;
+}

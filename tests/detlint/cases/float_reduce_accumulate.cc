@@ -1,0 +1,13 @@
+// Violation: std::accumulate over a floating accumulator in a file that
+// uses the parallel layer. Float addition is non-associative; if this
+// reduction is ever moved onto the parallel scaffolding the association
+// order — and the result bits — change with the thread count.
+// Expected: float-reduce
+#include <numeric>
+#include <vector>
+
+#include "common/parallel.h"
+
+double Total(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}

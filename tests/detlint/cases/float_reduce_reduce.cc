@@ -1,0 +1,12 @@
+// Violation: std::reduce over doubles in a file that uses the parallel
+// layer. std::reduce explicitly permits arbitrary association/commuting,
+// so a floating result is unspecified by construction.
+// Expected: float-reduce
+#include <numeric>
+#include <vector>
+
+#include "common/parallel.h"
+
+double Total(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end(), double{0});
+}

@@ -1,0 +1,13 @@
+// Violation: printf-family %g conversion in an export path. printf
+// float conversions honor LC_NUMERIC and pick a fixed precision, so the
+// emitted bytes depend on the environment and lose digits.
+// Expected: locale-format
+// detlint: export-path
+#include <cstdio>
+#include <string>
+
+std::string ExportValue(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}

@@ -1,0 +1,14 @@
+// Violation: iostream formatting in an export path. Streams imbue the
+// global locale at construction and default to six significant digits,
+// so the emitted bytes are environment-dependent and lossy.
+// Expected: locale-format
+// detlint: export-path
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+std::string ExportValue(double value) {
+  std::ostringstream os;
+  os << std::setprecision(9) << value;
+  return os.str();
+}

@@ -1,0 +1,11 @@
+// Violation: std::to_string(double) in an export path. It honors the
+// global C locale (decimal comma under e.g. de_DE) and truncates to six
+// fixed digits, so exported values neither round-trip nor stay
+// byte-stable across environments.
+// Expected: locale-format
+// detlint: export-path
+#include <string>
+
+std::string ExportValue(double value) {
+  return "{\"value\": " + std::to_string(value) + "}";
+}

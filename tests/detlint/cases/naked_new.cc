@@ -1,0 +1,14 @@
+// Violation: naked new/delete. Manual lifetime management leaks on every
+// early return and exception path; the repo requires std::make_unique or
+// containers.
+// Expected: naked-new
+struct Buffer {
+  int size;
+};
+
+int Use() {
+  Buffer* buffer = new Buffer{64};
+  int size = buffer->size;
+  delete buffer;
+  return size;
+}

@@ -1,0 +1,14 @@
+// Violation: std::hash over a pointer type hashes the address, which
+// differs run to run — any structure seeded from it inherits the
+// nondeterminism.
+// Expected: pointer-key
+#include <cstddef>
+#include <functional>
+
+struct Node {
+  int id;
+};
+
+std::size_t Fingerprint(const Node* node) {
+  return std::hash<const Node*>{}(node);
+}

@@ -1,0 +1,14 @@
+// Violation: pointer-keyed unordered map. Heap addresses differ run to
+// run, so hashing/ordering by them is nondeterministic even if the map
+// is never iterated directly (rehash order, bucket placement, and any
+// later export leak it).
+// Expected: pointer-key
+#include <unordered_map>
+
+struct Document {
+  int id;
+};
+
+std::unordered_map<const Document*, int> visits;
+
+void Record(const Document* doc) { ++visits[doc]; }

@@ -1,0 +1,13 @@
+// Violation: bare std::mutex outside src/common/sync.h. Raw primitives
+// bypass the capability-annotated wrappers, so -Wthread-safety cannot
+// see the lock discipline (DESIGN.md §11).
+// Expected: raw-mutex
+#include <mutex>
+
+std::mutex mu;
+int counter = 0;
+
+void Bump() {
+  std::lock_guard<std::mutex> lock(mu);
+  ++counter;
+}

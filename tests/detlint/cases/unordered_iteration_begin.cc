@@ -1,0 +1,16 @@
+// Violation: explicit iterator loop via .begin() over a
+// std::unordered_set — same hash-order hazard as a range-for, just
+// spelled with iterators.
+// Expected: unordered-iteration
+#include <unordered_set>
+#include <vector>
+
+std::unordered_set<int> seen;
+
+std::vector<int> Snapshot() {
+  std::vector<int> out;
+  for (auto it = seen.begin(); it != seen.end(); ++it) {
+    out.push_back(*it);  // emitted in bucket order
+  }
+  return out;
+}

@@ -1,0 +1,16 @@
+// Violation: range-for over a std::unordered_map without the ordered
+// facade or a waiver. Iteration order is a hash artifact — anything
+// order-dependent built from this loop differs across stdlib
+// implementations and hash seeds.
+// Expected: unordered-iteration
+#include <unordered_map>
+
+std::unordered_map<int, double> counts;
+
+double Sum() {
+  double total = 0.0;
+  for (const auto& [key, value] : counts) {
+    total += value;  // accumulation order follows bucket order
+  }
+  return total;
+}

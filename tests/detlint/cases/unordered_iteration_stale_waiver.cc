@@ -1,0 +1,16 @@
+// Violation: the waiver comment is present but carries no reason. The
+// reason is mandatory — an empty waiver documents nothing and rots into
+// a blanket suppression, so the rule must keep firing.
+// Expected: unordered-iteration
+#include <unordered_map>
+
+std::unordered_map<int, double> counts;
+
+double Sum() {
+  double total = 0.0;
+  // DETERMINISM: order-insensitive ()
+  for (const auto& [key, value] : counts) {
+    total += value;
+  }
+  return total;
+}

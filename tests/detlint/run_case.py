@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Ctest driver for one detlint violation-corpus case.
+
+Usage: run_case.py <lint.py> <case.cc> <expected-rule-id|CLEAN>
+
+Runs the linter on exactly one corpus file (with --treat-as-src, since the
+corpus lives under tests/) and checks the outcome strictly:
+
+  * expected rule id: the case must produce at least one finding, and
+    EVERY finding must carry that id. A case that trips a different rule —
+    even alongside the intended one — fails: each corpus file must fail
+    for exactly the reason it documents, or it silently stops guarding
+    that rule.
+  * CLEAN: the linter must exit 0 with zero findings.
+
+Exit status 0 iff the case behaves as declared.
+"""
+
+import json
+import subprocess
+import sys
+
+
+def fail(msg, proc=None):
+    print(f"run_case.py: FAIL: {msg}", file=sys.stderr)
+    if proc is not None:
+        print(f"--- lint stdout ---\n{proc.stdout}", file=sys.stderr)
+        print(f"--- lint stderr ---\n{proc.stderr}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) != 4:
+        return fail(f"usage: {argv[0]} <lint.py> <case.cc> <rule-id|CLEAN>")
+    lint_py, case, expected = argv[1:4]
+    proc = subprocess.run(
+        [sys.executable, lint_py, "--format=json", "--treat-as-src", case],
+        capture_output=True, text=True)
+    if proc.returncode not in (0, 1):
+        return fail(f"linter errored (exit {proc.returncode})", proc)
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as err:
+        return fail(f"--format=json output is not JSON: {err}", proc)
+    rules = [f["rule"] for f in doc.get("findings", ())]
+
+    if expected == "CLEAN":
+        if proc.returncode != 0 or rules:
+            return fail(f"control case expected clean, got findings "
+                        f"{rules} (exit {proc.returncode})", proc)
+        print(f"run_case.py: OK ({case}: clean as declared)")
+        return 0
+
+    if proc.returncode != 1 or not rules:
+        return fail(f"case did not trip any rule (expected "
+                    f"'{expected}', exit {proc.returncode})", proc)
+    wrong = sorted({r for r in rules if r != expected})
+    if wrong:
+        return fail(f"case tripped wrong rule(s) {wrong} "
+                    f"(expected only '{expected}'; all findings: {rules})",
+                    proc)
+    print(f"run_case.py: OK ({case}: tripped '{expected}' "
+          f"x{len(rules)} as declared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

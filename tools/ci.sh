@@ -39,6 +39,18 @@ cmake --preset default >/dev/null
 cmake --build build-default -j "$JOBS"
 ctest --preset default -j "$JOBS"
 
+step "detlint violation corpus (tests/detlint)"
+# Each corpus case must trip exactly its intended rule id (wrong-reason
+# failures rejected) and the controls must lint clean — proves the
+# determinism rules actually bite and the escapes stay scoped.
+ctest --test-dir build-default -R '^detlint\.' --output-on-failure -j "$JOBS"
+
+step "golden-hash determinism matrix (rankers x seeds x threads)"
+# Byte-stable digests across extract_threads {1,2,8} plus pinned golden
+# constants; see DESIGN.md §12 for the re-pin procedure.
+ctest --test-dir build-default -R 'DeterminismGoldenTest' \
+    --output-on-failure -j "$JOBS"
+
 step "bench_rerank smoke (incremental re-rank engine)"
 # One iteration per configuration on a small corpus: verifies the delta
 # passes engage (counters) and the bench harness itself stays healthy.

@@ -1,31 +1,64 @@
 #!/usr/bin/env python3
-"""Project lint for adaptive_ie.
+"""Project lint (detlint) for adaptive_ie.
 
-Enforces repo-local correctness rules that compilers don't:
+A small rule engine enforcing repo-local correctness rules that compilers
+don't. Each rule is a registered object with a stable id; findings are
+suppressed per line with `// NOLINT(ie-<rule>)`, and the determinism rules
+additionally honor the waiver comment documented below. Files are read and
+tokenized (comment/string stripping) exactly once; every rule works off
+that shared FileContext.
 
-  pragma-once        every header uses `#pragma once` (no ad-hoc include
-                     guards, no unguarded headers)
-  using-namespace    no `using namespace` at any scope in headers (pollutes
-                     every includer)
-  raw-random         no rand()/srand()/time(nullptr) seeding outside
-                     src/common/rng.* — all randomness goes through ie::Rng
-                     so runs stay reproducible
-  naked-new          no naked new/delete in src/ — use std::make_unique /
-                     containers / values (leaky singletons included; use a
-                     Meyers static instead)
-  raw-mutex          no bare std:: sync primitives (mutex, shared_mutex,
-                     lock_guard, unique_lock, shared_lock, scoped_lock,
-                     condition_variable, ...) outside src/common/sync.h —
-                     use the capability-annotated ie::Mutex/SharedMutex/
-                     CondVar wrappers so Clang thread-safety analysis can
-                     prove lock discipline (DESIGN.md §11)
+Style / hygiene rules:
 
-Suppress a finding on one line with `// NOLINT(ie-<rule>)`.
+  pragma-once          every header uses `#pragma once` (no ad-hoc include
+                       guards, no unguarded headers)
+  using-namespace      no `using namespace` at any scope in headers
+  raw-random           no rand()/srand()/time(nullptr) seeding outside
+                       src/common/rng.* — all randomness goes through
+                       ie::Rng so runs stay reproducible
+  naked-new            no naked new/delete in src/
+  raw-mutex            no bare std:: sync primitives outside
+                       src/common/sync.h — use the capability-annotated
+                       ie::Mutex/SharedMutex/CondVar wrappers (DESIGN.md
+                       §11)
 
-Usage: tools/lint.py [paths...]   (defaults to src tests bench examples)
+Determinism rules (DESIGN.md §12) — the static side of the byte-identical
+output guarantee:
+
+  unordered-iteration  no range-for / .begin() iteration over
+                       std::unordered_map/set in src/ outside the facade
+                       src/common/ordered.h. Iterate via ie::ForEachSorted
+                       / SortedKeys / SortedItems, or waive the site with
+                       `// DETERMINISM: order-insensitive (<reason>)` on
+                       the same or preceding line — the reason is
+                       mandatory.
+  pointer-key          no pointer-keyed maps/sets and no std::hash over
+                       pointer types in src/ — addresses differ run to
+                       run, so anything ordered or iterated by them is
+                       nondeterministic. Key by a stable id instead.
+  locale-format        in export paths (files carrying a
+                       `detlint: export-path` marker comment): no
+                       std::to_string, no printf-family %f/%e/%g
+                       conversions, no iostream formatting machinery.
+                       Use FormatDouble / FormatJsonNumber
+                       (common/string_util.h): locale-independent,
+                       shortest round-trip.
+  float-reduce         in files that include common/parallel.h: no
+                       std::accumulate / std::reduce over floating
+                       accumulators — use ie::FixedOrderSum
+                       (common/ordered.h) so the association order is
+                       explicit and cannot be silently parallelized.
+
+Usage: tools/lint.py [paths...] [--format=text|json] [--treat-as-src]
+       (paths default to src tests bench examples; the violation corpus
+        tests/detlint/cases is skipped in directory walks and only linted
+        when a case file is passed explicitly — its files violate rules on
+        purpose)
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
 
+import argparse
+import json
 import os
 import re
 import sys
@@ -37,17 +70,30 @@ SOURCE_EXTS = (".cc", ".cpp", ".cxx") + HEADER_EXTS
 
 DEFAULT_PATHS = ("src", "tests", "bench", "examples")
 
-# raw-random is allowed only in the RNG facade itself.
+# Per-rule allowlists: the facade a rule protects is the one place the raw
+# construct may appear.
 RAW_RANDOM_ALLOWED = ("src/common/rng.h", "src/common/rng.cc")
-
-# raw-mutex is allowed only in the annotated sync facade itself.
 RAW_MUTEX_ALLOWED = ("src/common/sync.h",)
-RAW_MUTEX_RE = re.compile(
-    r"\bstd\s*::\s*(?:recursive_mutex|recursive_timed_mutex|timed_mutex|"
-    r"mutex|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|"
-    r"shared_lock|scoped_lock|condition_variable_any|condition_variable)\b")
+UNORDERED_ITERATION_ALLOWED = ("src/common/ordered.h",)
 
 NOLINT_RE = re.compile(r"//\s*NOLINT\(ie-([a-z-]+)\)")
+# Determinism waiver: reason is mandatory and must be non-empty — a bare
+# `// DETERMINISM: order-insensitive` or `(...)` with only whitespace does
+# not waive anything.
+WAIVER_RE = re.compile(
+    r"//\s*DETERMINISM:\s*order-insensitive\s*\(\s*[^)\s][^)]*\)")
+
+CPP_KEYWORDS = frozenset((
+    "alignas", "auto", "bool", "break", "case", "catch", "char", "class",
+    "const", "constexpr", "continue", "decltype", "default", "delete", "do",
+    "double", "else", "enum", "explicit", "extern", "false", "float", "for",
+    "friend", "goto", "if", "inline", "int", "long", "mutable", "namespace",
+    "new", "noexcept", "nullptr", "operator", "private", "protected",
+    "public", "return", "short", "signed", "sizeof", "static", "struct",
+    "switch", "template", "this", "throw", "true", "try", "typedef",
+    "typename", "union", "unsigned", "using", "virtual", "void", "volatile",
+    "while", "std", "size_t", "uint32_t", "uint64_t", "int32_t", "int64_t",
+))
 
 # A `"` opens a raw string literal when the code immediately before it is
 # an R / uR / UR / LR / u8R prefix that is itself a token start (not the
@@ -134,16 +180,405 @@ def strip_comments_and_strings(text):
     return "".join(out)
 
 
+def relpath(path):
+    return os.path.relpath(os.path.abspath(path), REPO_ROOT).replace(os.sep, "/")
+
+
+def _blank_template_args(text):
+    """Blanks the contents of balanced <...> groups (keeping the brackets)
+    so declaration parsing sees `std::unordered_map<> name`. Unbalanced
+    `<`/`>` (comparisons, shifts) simply never closes / never opens, which
+    is harmless for the declaration statements this feeds."""
+    out = []
+    depth = 0
+    for c in text:
+        if c == "<":
+            depth += 1
+            out.append(c if depth == 1 else " ")
+        elif c == ">":
+            if depth > 0:
+                depth -= 1
+                out.append(c if depth == 0 else " ")
+            else:
+                out.append(c)
+        else:
+            out.append(c if depth == 0 else " ")
+    return "".join(out)
+
+
+_UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set)\s*<")
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def collect_unordered_names(code):
+    """Identifiers declared (anywhere in `code`) with a type mentioning
+    std::unordered_map/set: variables, members, parameters, and functions
+    returning one. Used by the unordered-iteration rule to recognize
+    iteration sites without a real type system."""
+    names = set()
+    # Statement-ish granularity: declarations end at ; = { or (.
+    for statement in re.split(r"[;{}]", code):
+        if not _UNORDERED_DECL_RE.search(statement):
+            continue
+        flat = _blank_template_args(statement)
+        # The declared name is the last identifier before the statement
+        # ends or its initializer/body/argument list starts.
+        decl = re.split(r"[=({]", flat, maxsplit=0)[0] if False else flat
+        # Cut at the first initializer/call marker AFTER the template args.
+        m = re.search(r"<\s*>", decl)
+        tail = decl[m.end():] if m else decl
+        cut = re.search(r"[=({]", tail)
+        head = tail[:cut.start()] if cut else tail
+        idents = [i for i in _IDENT_RE.findall(head)
+                  if i not in CPP_KEYWORDS]
+        if idents:
+            names.add(idents[-1])
+    return names
+
+
+class FileContext:
+    """Everything the rules need about one file, computed once."""
+
+    def __init__(self, path, rel, raw, treat_as_src=False):
+        self.path = path
+        self.rel = rel
+        self.raw = raw
+        self.raw_lines = raw.splitlines()
+        self.code = strip_comments_and_strings(raw)
+        self.code_lines = self.code.splitlines()
+        self.is_header = rel.endswith(HEADER_EXTS)
+        self.in_src = rel.startswith("src/") or treat_as_src
+        self.is_export_path = "detlint: export-path" in raw
+        # Matched against raw text: the stripper blanks string contents,
+        # and include paths are string literals.
+        self.includes_parallel = re.search(
+            r'#\s*include\s*"common/parallel\.h"', raw) is not None
+        self._unordered_names = None
+
+    @property
+    def unordered_names(self):
+        if self._unordered_names is None:
+            code = self.code
+            # Members declared in the companion header are iterated from
+            # the .cc: fold its declarations in.
+            if not self.is_header:
+                base, _ = os.path.splitext(self.path)
+                for ext in HEADER_EXTS:
+                    try:
+                        with open(base + ext, encoding="utf-8",
+                                  errors="replace") as f:
+                            code = code + "\n" + \
+                                strip_comments_and_strings(f.read())
+                        break
+                    except OSError:
+                        continue
+            self._unordered_names = collect_unordered_names(code)
+        return self._unordered_names
+
+    def raw_line(self, idx):
+        """1-based; empty string past EOF."""
+        return self.raw_lines[idx - 1] if 1 <= idx <= len(self.raw_lines) \
+            else ""
+
+    def line_of_offset(self, offset):
+        return self.code.count("\n", 0, offset) + 1
+
+    def waived(self, idx):
+        """Determinism waiver on this line or in the contiguous comment
+        block immediately above it (reasons routinely wrap)."""
+        lines = [self.raw_line(idx)]
+        j = idx - 1
+        while j >= 1 and len(lines) <= 6 and \
+                self.raw_line(j).lstrip().startswith("//"):
+            lines.append(self.raw_line(j))
+            j -= 1
+        return bool(WAIVER_RE.search(" ".join(reversed(lines))))
+
+
+class Rule:
+    """Base class: subclasses set `rule_id` and implement check(ctx)
+    yielding (line, message) pairs. NOLINT suppression is engine-wide."""
+
+    rule_id = None
+
+    def check(self, ctx):
+        raise NotImplementedError
+
+
+class PragmaOnceRule(Rule):
+    rule_id = "pragma-once"
+
+    def check(self, ctx):
+        if not ctx.is_header:
+            return
+        if "#pragma once" not in ctx.raw:
+            yield 1, "header missing `#pragma once`"
+        for idx, line in enumerate(ctx.code_lines, 1):
+            if re.search(r"#\s*ifndef\s+\w*_H_?\b", line):
+                yield idx, "ad-hoc include guard; use `#pragma once`"
+                break
+
+
+class UsingNamespaceRule(Rule):
+    rule_id = "using-namespace"
+
+    def check(self, ctx):
+        if not ctx.is_header:
+            return
+        for idx, line in enumerate(ctx.code_lines, 1):
+            if re.search(r"\busing\s+namespace\b", line):
+                yield idx, "`using namespace` in a header"
+
+
+class RawRandomRule(Rule):
+    rule_id = "raw-random"
+
+    def check(self, ctx):
+        if ctx.rel in RAW_RANDOM_ALLOWED:
+            return
+        for idx, line in enumerate(ctx.code_lines, 1):
+            if re.search(r"(?<![\w:.])s?rand\s*\(", line) or \
+               re.search(r"(?<![\w:.])time\s*\(\s*(nullptr|NULL|0)\s*\)",
+                         line):
+                yield idx, ("raw rand()/time() seeding; use ie::Rng "
+                            "(src/common/rng.h)")
+
+
+class NakedNewRule(Rule):
+    rule_id = "naked-new"
+
+    def check(self, ctx):
+        if not ctx.in_src:
+            return
+        for idx, line in enumerate(ctx.code_lines, 1):
+            new_m = re.search(r"(?<![\w.])new\b(?!\s*\()", line)
+            if new_m and not re.search(r"placement\s+new", line):
+                yield idx, ("naked `new`; use std::make_unique or a "
+                            "container/value")
+            del_m = re.search(r"(?<![\w.])delete\b(?!\s*\[?\]?\s*;?\s*$)",
+                              line)
+            # `= delete` declarations and `operator delete` are fine.
+            if del_m and not re.search(r"=\s*delete\b|operator\s+delete",
+                                       line):
+                yield idx, ("naked `delete`; manage lifetime with smart "
+                            "pointers/containers")
+
+
+class RawMutexRule(Rule):
+    rule_id = "raw-mutex"
+
+    PATTERN = re.compile(
+        r"\bstd\s*::\s*(?:recursive_mutex|recursive_timed_mutex|timed_mutex|"
+        r"mutex|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|"
+        r"shared_lock|scoped_lock|condition_variable_any|condition_variable"
+        r")\b")
+
+    def check(self, ctx):
+        if ctx.rel in RAW_MUTEX_ALLOWED:
+            return
+        for idx, line in enumerate(ctx.code_lines, 1):
+            if self.PATTERN.search(line):
+                yield idx, ("bare std:: sync primitive; use the "
+                            "capability-annotated wrappers in "
+                            "src/common/sync.h (ie::Mutex, MutexLock, "
+                            "CondVar, ...)")
+
+
+def _match_paren(text, open_pos):
+    """Index just past the `)` matching the `(` at open_pos, or -1."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+class UnorderedIterationRule(Rule):
+    rule_id = "unordered-iteration"
+
+    MESSAGE = ("iteration over unordered container '%s': order is a hash "
+               "artifact — use ie::ForEachSorted/SortedKeys/SortedItems "
+               "(src/common/ordered.h) or waive with `// DETERMINISM: "
+               "order-insensitive (<reason>)`")
+
+    def check(self, ctx):
+        if not ctx.in_src or ctx.rel in UNORDERED_ITERATION_ALLOWED:
+            return
+        names = ctx.unordered_names
+        if not names:
+            return
+        findings = []
+        # Range-for loops: `for (decl : range-expr)` with any unordered
+        # name in the range expression.
+        for m in re.finditer(r"\bfor\s*\(", ctx.code):
+            open_pos = m.end() - 1
+            close = _match_paren(ctx.code, open_pos)
+            if close < 0:
+                continue
+            inner = ctx.code[open_pos + 1:close - 1]
+            colon = self._top_level_colon(inner)
+            if colon < 0:
+                continue
+            range_expr = inner[colon + 1:]
+            hit = next((i for i in _IDENT_RE.findall(range_expr)
+                        if i in names), None)
+            if hit is not None:
+                findings.append((ctx.line_of_offset(m.start()), hit))
+        # Explicit iterator access: name.begin() / name.cbegin() — covers
+        # iterator loops, algorithm calls, and iterator-pair construction.
+        begin_re = re.compile(
+            r"\b(" + "|".join(re.escape(n) for n in sorted(names)) +
+            r")\s*\.\s*c?begin\s*\(")
+        for m in begin_re.finditer(ctx.code):
+            findings.append((ctx.line_of_offset(m.start()), m.group(1)))
+        for line, name in sorted(set(findings)):
+            if not ctx.waived(line):
+                yield line, self.MESSAGE % name
+
+    @staticmethod
+    def _top_level_colon(text):
+        """Position of a depth-0 `:` that is not part of `::`, or -1."""
+        depth = 0
+        i = 0
+        while i < len(text):
+            c = text[i]
+            if c in "([{<":
+                depth += 1
+            elif c in ")]}>":
+                depth = max(0, depth - 1)
+            elif c == ":" and depth == 0:
+                if i + 1 < len(text) and text[i + 1] == ":":
+                    i += 2
+                    continue
+                if i > 0 and text[i - 1] == ":":
+                    i += 1
+                    continue
+                return i
+            i += 1
+        return -1
+
+
+class PointerKeyRule(Rule):
+    rule_id = "pointer-key"
+
+    CONTAINER_RE = re.compile(
+        r"\b(?:unordered_map|unordered_set|unordered_multimap|"
+        r"unordered_multiset|map|set|multimap|multiset)\s*<")
+    HASH_RE = re.compile(r"\bstd\s*::\s*hash\s*<[^<>]*\*\s*>")
+
+    def check(self, ctx):
+        if not ctx.in_src:
+            return
+        for m in self.CONTAINER_RE.finditer(ctx.code):
+            key = self._first_template_arg(ctx.code, m.end() - 1)
+            if key is not None and "*" in key:
+                yield (ctx.line_of_offset(m.start()),
+                       "pointer-keyed container: addresses differ run to "
+                       "run, making order and hashing nondeterministic — "
+                       "key by a stable id instead")
+        for m in self.HASH_RE.finditer(ctx.code):
+            yield (ctx.line_of_offset(m.start()),
+                   "std::hash over a pointer type hashes addresses, which "
+                   "differ run to run — hash a stable id instead")
+
+    @staticmethod
+    def _first_template_arg(text, open_pos):
+        """Text of the first top-level template argument after the `<` at
+        open_pos (up to the first depth-0 comma or the closing `>`)."""
+        depth = 0
+        start = open_pos + 1
+        for i in range(open_pos, min(len(text), open_pos + 400)):
+            c = text[i]
+            if c == "<" or c == "(":
+                depth += 1
+            elif c == ">" or c == ")":
+                depth -= 1
+                if depth == 0:
+                    return text[start:i]
+            elif c == "," and depth == 1:
+                return text[start:i]
+        return None
+
+
+class LocaleFormatRule(Rule):
+    rule_id = "locale-format"
+
+    PRINTF_CALL_RE = re.compile(r"\b(\w*printf|\w*Format\w*)\s*\(")
+    FLOAT_CONV_RE = re.compile(r"%[-+ #0-9.*]*(?:l|L|h)?[aAeEfFgG]\b")
+    STREAM_RE = re.compile(
+        r"\b(?:ostringstream|stringstream|ofstream|setprecision)\b|"
+        r"\bstd\s*::\s*(?:cout|cerr)\b")
+
+    def check(self, ctx):
+        if not (ctx.in_src and ctx.is_export_path):
+            return
+        for idx, line in enumerate(ctx.code_lines, 1):
+            if re.search(r"\bstd\s*::\s*to_string\s*\(", line):
+                yield idx, ("std::to_string in an export path is "
+                            "locale-dependent and precision-lossy for "
+                            "floats; use FormatDouble/FormatJsonNumber "
+                            "(common/string_util.h)")
+            if self.PRINTF_CALL_RE.search(line) and \
+               self.FLOAT_CONV_RE.search(ctx.raw_line(idx)):
+                yield idx, ("printf-family float conversion (%f/%e/%g) in "
+                            "an export path honors LC_NUMERIC and rounds; "
+                            "use FormatDouble/FormatJsonNumber "
+                            "(common/string_util.h)")
+            if self.STREAM_RE.search(line):
+                yield idx, ("iostream formatting in an export path picks "
+                            "up the global locale; use FormatDouble/"
+                            "FormatJsonNumber (common/string_util.h)")
+
+
+class FloatReduceRule(Rule):
+    rule_id = "float-reduce"
+
+    CALL_RE = re.compile(r"\bstd\s*::\s*(accumulate|reduce)\s*\(")
+    FLOATY_RE = re.compile(
+        r"\b\d+\.\d*(?:[eE][-+]?\d+)?f?|\b\d+[eE][-+]?\d+f?\b|"
+        r"\b(?:double|float)\b|\.\d+f?\b")
+
+    def check(self, ctx):
+        if not (ctx.in_src and ctx.includes_parallel):
+            return
+        for m in self.CALL_RE.finditer(ctx.code):
+            open_pos = ctx.code.find("(", m.start())
+            close = _match_paren(ctx.code, open_pos)
+            args = ctx.code[open_pos:close if close > 0 else open_pos + 200]
+            if self.FLOATY_RE.search(args):
+                yield (ctx.line_of_offset(m.start()),
+                       "floating std::%s in a file that uses "
+                       "common/parallel.h: reduction order could silently "
+                       "change under parallelization — use "
+                       "ie::FixedOrderSum (common/ordered.h)" % m.group(1))
+
+
+RULES = (
+    PragmaOnceRule(),
+    UsingNamespaceRule(),
+    RawRandomRule(),
+    NakedNewRule(),
+    RawMutexRule(),
+    UnorderedIterationRule(),
+    PointerKeyRule(),
+    LocaleFormatRule(),
+    FloatReduceRule(),
+)
+
+RULE_IDS = tuple(r.rule_id for r in RULES)
+
+
 def suppressed(raw_line, rule):
     m = NOLINT_RE.search(raw_line)
     return bool(m and m.group(1) == rule)
 
 
-def relpath(path):
-    return os.path.relpath(os.path.abspath(path), REPO_ROOT).replace(os.sep, "/")
-
-
-def check_file(path, findings):
+def check_file(path, findings, treat_as_src=False):
+    """Lints one file, appending (rel, line, rule_id, message) tuples."""
     rel = relpath(path)
     try:
         with open(path, encoding="utf-8", errors="replace") as f:
@@ -151,60 +586,11 @@ def check_file(path, findings):
     except OSError as err:
         findings.append((rel, 0, "io", str(err)))
         return
-    raw_lines = raw.splitlines()
-    code = strip_comments_and_strings(raw)
-    code_lines = code.splitlines()
-    is_header = rel.endswith(HEADER_EXTS)
-
-    if is_header:
-        if "#pragma once" not in raw:
-            findings.append((rel, 1, "pragma-once",
-                             "header missing `#pragma once`"))
-        for idx, line in enumerate(code_lines, 1):
-            if re.search(r"#\s*ifndef\s+\w*_H_?\b", line):
-                if not suppressed(raw_lines[idx - 1], "pragma-once"):
-                    findings.append((rel, idx, "pragma-once",
-                                     "ad-hoc include guard; use `#pragma once`"))
-                break
-
-    for idx, line in enumerate(code_lines, 1):
-        raw_line = raw_lines[idx - 1] if idx <= len(raw_lines) else ""
-
-        if is_header and re.search(r"\busing\s+namespace\b", line):
-            if not suppressed(raw_line, "using-namespace"):
-                findings.append((rel, idx, "using-namespace",
-                                 "`using namespace` in a header"))
-
-        if rel not in RAW_MUTEX_ALLOWED and RAW_MUTEX_RE.search(line):
-            if not suppressed(raw_line, "raw-mutex"):
-                findings.append((rel, idx, "raw-mutex",
-                                 "bare std:: sync primitive; use the "
-                                 "capability-annotated wrappers in "
-                                 "src/common/sync.h (ie::Mutex, MutexLock, "
-                                 "CondVar, ...)"))
-
-        if rel not in RAW_RANDOM_ALLOWED:
-            if re.search(r"(?<![\w:.])s?rand\s*\(", line) or \
-               re.search(r"(?<![\w:.])time\s*\(\s*(nullptr|NULL|0)\s*\)", line):
-                if not suppressed(raw_line, "raw-random"):
-                    findings.append((rel, idx, "raw-random",
-                                     "raw rand()/time() seeding; use "
-                                     "ie::Rng (src/common/rng.h)"))
-
-        if rel.startswith("src/"):
-            new_m = re.search(r"(?<![\w.])new\b(?!\s*\()", line)
-            if new_m and not re.search(r"placement\s+new", line):
-                if not suppressed(raw_line, "naked-new"):
-                    findings.append((rel, idx, "naked-new",
-                                     "naked `new`; use std::make_unique or a "
-                                     "container/value"))
-            del_m = re.search(r"(?<![\w.])delete\b(?!\s*\[?\]?\s*;?\s*$)", line)
-            # `= delete` declarations and `operator delete` are fine.
-            if del_m and not re.search(r"=\s*delete\b|operator\s+delete", line):
-                if not suppressed(raw_line, "naked-new"):
-                    findings.append((rel, idx, "naked-new",
-                                     "naked `delete`; manage lifetime with "
-                                     "smart pointers/containers"))
+    ctx = FileContext(path, rel, raw, treat_as_src=treat_as_src)
+    for rule in RULES:
+        for line, msg in rule.check(ctx):
+            if not suppressed(ctx.raw_line(line), rule.rule_id):
+                findings.append((rel, line, rule.rule_id, msg))
 
 
 def collect_files(paths):
@@ -216,8 +602,12 @@ def collect_files(paths):
                 files.append(ap)
         elif os.path.isdir(ap):
             for dirpath, dirnames, filenames in os.walk(ap):
+                # `detlint` holds the violation corpus: its cases trip
+                # rules on purpose and are linted one by one by their
+                # ctest driver, never by directory walks.
                 dirnames[:] = [d for d in dirnames
-                               if not d.startswith(("build", ".git"))]
+                               if not d.startswith(("build", ".git"))
+                               and d != "detlint"]
                 for fn in sorted(filenames):
                     if fn.endswith(SOURCE_EXTS):
                         files.append(os.path.join(dirpath, fn))
@@ -228,14 +618,38 @@ def collect_files(paths):
 
 
 def main(argv):
-    paths = argv[1:] or [p for p in DEFAULT_PATHS
-                         if os.path.isdir(os.path.join(REPO_ROOT, p))]
+    parser = argparse.ArgumentParser(
+        prog="lint.py", description="adaptive_ie project lint (detlint)")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: %s)" %
+                        " ".join(DEFAULT_PATHS))
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt",
+                        help="output format (json is machine-readable)")
+    parser.add_argument("--treat-as-src", action="store_true",
+                        help="apply src/-scoped rules to every input "
+                        "(used by the violation-corpus driver and tests)")
+    args = parser.parse_args(argv[1:])
+
+    paths = args.paths or [p for p in DEFAULT_PATHS
+                           if os.path.isdir(os.path.join(REPO_ROOT, p))]
     files = collect_files(paths)
     if files is None:
         return 2
     findings = []
     for path in files:
-        check_file(path, findings)
+        check_file(path, findings, treat_as_src=args.treat_as_src)
+
+    if args.fmt == "json":
+        print(json.dumps({
+            "files_checked": len(files),
+            "findings": [
+                {"file": rel, "line": line, "rule": rule, "message": msg}
+                for rel, line, rule, msg in findings
+            ],
+        }, indent=2))
+        return 1 if findings else 0
+
     for rel, line, rule, msg in findings:
         print(f"{rel}:{line}: [{rule}] {msg}")
     if findings:

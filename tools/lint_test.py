@@ -16,7 +16,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import lint  # noqa: E402
 
 
-def rules_for(path, text):
+def rules_for(path, text, treat_as_src=False):
     """Writes text at path (relative to the fake repo root), lints it, and
     returns the sorted set of rule names found."""
     ap = os.path.join(lint.REPO_ROOT, path)
@@ -24,7 +24,7 @@ def rules_for(path, text):
     with open(ap, "w", encoding="utf-8") as f:
         f.write(text)
     findings = []
-    lint.check_file(ap, findings)
+    lint.check_file(ap, findings, treat_as_src=treat_as_src)
     return sorted({rule for _, _, rule, _ in findings})
 
 
@@ -172,6 +172,244 @@ class RulesTest(LintTestBase):
     def test_nolint_wrong_rule_does_not_suppress(self):
         text = "std::mutex mu;  // NOLINT(ie-naked-new)\n"
         self.assertEqual(rules_for("src/k.cc", text), ["raw-mutex"])
+
+
+UNORDERED_LOOP = (
+    "std::unordered_map<int, double> counts;\n"
+    "void f() {\n"
+    "  for (const auto& [k, v] : counts) {}\n"
+    "}\n")
+
+
+class UnorderedIterationTest(LintTestBase):
+    def test_range_for_flagged(self):
+        self.assertIn("unordered-iteration",
+                      rules_for("src/a.cc", UNORDERED_LOOP))
+
+    def test_begin_iteration_flagged(self):
+        text = ("std::unordered_set<int> seen;\n"
+                "void f() {\n"
+                "  for (auto it = seen.begin(); it != seen.end(); ++it) {}\n"
+                "}\n")
+        self.assertIn("unordered-iteration", rules_for("src/b.cc", text))
+
+    def test_cbegin_flagged(self):
+        text = ("std::unordered_map<int, int> m;\n"
+                "auto it = m.cbegin();\n")
+        self.assertIn("unordered-iteration", rules_for("src/b2.cc", text))
+
+    def test_waiver_with_reason_suppresses(self):
+        text = ("std::unordered_map<int, double> counts;\n"
+                "void f() {\n"
+                "  // DETERMINISM: order-insensitive (order-free tally)\n"
+                "  for (const auto& [k, v] : counts) {}\n"
+                "}\n")
+        self.assertEqual(rules_for("src/c.cc", text), [])
+
+    def test_waiver_without_reason_does_not_suppress(self):
+        for stale in ("// DETERMINISM: order-insensitive",
+                      "// DETERMINISM: order-insensitive ()",
+                      "// DETERMINISM: order-insensitive (   )"):
+            text = ("std::unordered_map<int, double> counts;\n"
+                    "void f() {\n"
+                    f"  {stale}\n"
+                    "  for (const auto& [k, v] : counts) {}\n"
+                    "}\n")
+            self.assertIn("unordered-iteration",
+                          rules_for("src/d.cc", text), msg=stale)
+
+    def test_multiline_waiver_reason_suppresses(self):
+        text = ("std::unordered_map<int, double> counts;\n"
+                "void f() {\n"
+                "  // DETERMINISM: order-insensitive (a long reason that\n"
+                "  // wraps to a second comment line)\n"
+                "  for (const auto& [k, v] : counts) {}\n"
+                "}\n")
+        self.assertEqual(rules_for("src/e.cc", text), [])
+
+    def test_nolint_suppresses(self):
+        text = ("std::unordered_map<int, double> counts;\n"
+                "void f() {\n"
+                "  for (const auto& [k, v] : counts) {}"
+                "  // NOLINT(ie-unordered-iteration)\n"
+                "}\n")
+        self.assertEqual(rules_for("src/f.cc", text), [])
+
+    def test_ordered_map_not_flagged(self):
+        text = ("std::map<int, double> counts;\n"
+                "void f() {\n"
+                "  for (const auto& [k, v] : counts) {}\n"
+                "}\n")
+        self.assertEqual(rules_for("src/g.cc", text), [])
+
+    def test_facade_header_allowlisted(self):
+        text = "#pragma once\n" + UNORDERED_LOOP
+        self.assertEqual(rules_for("src/common/ordered.h", text), [])
+
+    def test_scoped_to_src_unless_treat_as_src(self):
+        self.assertEqual(rules_for("tests/h_test.cc", UNORDERED_LOOP), [])
+        self.assertIn("unordered-iteration",
+                      rules_for("tests/h_test.cc", UNORDERED_LOOP,
+                                treat_as_src=True))
+
+    def test_companion_header_members_recognized(self):
+        header = ("#pragma once\n"
+                  "#include <unordered_map>\n"
+                  "class Thing {\n"
+                  "  std::unordered_map<int, double> scores_;\n"
+                  "  void Dump();\n"
+                  "};\n")
+        source = ("#include \"src/i.h\"\n"
+                  "void Thing::Dump() {\n"
+                  "  for (const auto& [k, v] : scores_) {}\n"
+                  "}\n")
+        self.assertEqual(rules_for("src/i.h", header), [])
+        self.assertIn("unordered-iteration", rules_for("src/i.cc", source))
+
+    def test_loop_in_raw_string_not_flagged(self):
+        text = ("std::unordered_map<int, double> counts;\n"
+                'auto doc = R"(for (const auto& [k, v] : counts) {})";\n')
+        self.assertEqual(rules_for("src/j.cc", text), [])
+
+    def test_lookup_only_use_not_flagged(self):
+        text = ("std::unordered_map<int, double> counts;\n"
+                "double get(int k) { return counts.at(k); }\n"
+                "bool has(int k) { return counts.find(k) != counts.end(); }\n")
+        self.assertEqual(rules_for("src/k.cc", text), [])
+
+
+class PointerKeyTest(LintTestBase):
+    def test_pointer_keyed_unordered_map_flagged(self):
+        text = "std::unordered_map<Foo*, int> by_ptr;\n"
+        self.assertIn("pointer-key", rules_for("src/a.cc", text))
+
+    def test_pointer_keyed_set_flagged(self):
+        for decl in ("std::unordered_set<const Node*> seen;",
+                     "std::set<Node*> seen;",
+                     "std::map<const Doc*, int> m;"):
+            self.assertIn("pointer-key", rules_for("src/b.cc", decl + "\n"),
+                          msg=decl)
+
+    def test_pointer_value_not_flagged(self):
+        text = "std::unordered_map<int, Foo*> by_id;\n"
+        self.assertEqual(rules_for("src/c.cc", text), [])
+
+    def test_std_hash_of_pointer_flagged(self):
+        text = "size_t h = std::hash<Foo*>{}(p);\n"
+        self.assertIn("pointer-key", rules_for("src/d.cc", text))
+
+    def test_nolint_suppresses(self):
+        text = ("std::unordered_map<Foo*, int> m;"
+                "  // NOLINT(ie-pointer-key)\n")
+        self.assertEqual(rules_for("src/e.cc", text), [])
+
+
+EXPORT_MARKER = "// detlint: export-path\n"
+
+
+class LocaleFormatTest(LintTestBase):
+    def test_to_string_flagged_in_export_path(self):
+        text = EXPORT_MARKER + "auto s = std::to_string(3.14);\n"
+        self.assertIn("locale-format", rules_for("src/a.cc", text))
+
+    def test_no_marker_no_finding(self):
+        text = "auto s = std::to_string(3.14);\n"
+        self.assertEqual(rules_for("src/b.cc", text), [])
+
+    def test_printf_float_conversion_flagged(self):
+        text = EXPORT_MARKER + \
+            'std::snprintf(buf, sizeof(buf), "%.9g", v);\n'
+        self.assertIn("locale-format", rules_for("src/c.cc", text))
+
+    def test_printf_integer_conversion_not_flagged(self):
+        text = EXPORT_MARKER + \
+            'std::snprintf(buf, sizeof(buf), "%d-%u", a, b);\n'
+        self.assertEqual(rules_for("src/d.cc", text), [])
+
+    def test_stream_machinery_flagged(self):
+        for line in ("std::ostringstream os;",
+                     "os << std::setprecision(9);",
+                     "std::cout << value;"):
+            text = EXPORT_MARKER + line + "\n"
+            self.assertIn("locale-format", rules_for("src/e.cc", text),
+                          msg=line)
+
+    def test_nolint_suppresses(self):
+        text = EXPORT_MARKER + \
+            "auto s = std::to_string(x);  // NOLINT(ie-locale-format)\n"
+        self.assertEqual(rules_for("src/f.cc", text), [])
+
+
+PARALLEL_INCLUDE = '#include "common/parallel.h"\n'
+
+
+class FloatReduceTest(LintTestBase):
+    def test_float_accumulate_flagged_with_parallel(self):
+        text = PARALLEL_INCLUDE + \
+            "double s = std::accumulate(v.begin(), v.end(), 0.0);\n"
+        self.assertIn("float-reduce", rules_for("src/a.cc", text))
+
+    def test_float_reduce_flagged(self):
+        text = PARALLEL_INCLUDE + \
+            "auto s = std::reduce(v.begin(), v.end(), double{0});\n"
+        self.assertIn("float-reduce", rules_for("src/b.cc", text))
+
+    def test_integer_accumulate_not_flagged(self):
+        text = PARALLEL_INCLUDE + \
+            "int s = std::accumulate(v.begin(), v.end(), 0);\n"
+        self.assertEqual(rules_for("src/c.cc", text), [])
+
+    def test_no_parallel_include_not_flagged(self):
+        text = "double s = std::accumulate(v.begin(), v.end(), 0.0);\n"
+        self.assertEqual(rules_for("src/d.cc", text), [])
+
+    def test_nolint_suppresses(self):
+        text = PARALLEL_INCLUDE + \
+            "double s = std::accumulate(v.begin(), v.end(), 0.0);" \
+            "  // NOLINT(ie-float-reduce)\n"
+        self.assertEqual(rules_for("src/e.cc", text), [])
+
+
+class JsonOutputTest(LintTestBase):
+    def test_json_format_lists_findings(self):
+        import contextlib
+        import io
+        import json as json_mod
+        path = os.path.join(lint.REPO_ROOT, "src", "bad.cc")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("std::mutex mu;\n")
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            status = lint.main(["lint.py", "--format=json", "src/bad.cc"])
+        self.assertEqual(status, 1)
+        doc = json_mod.loads(out.getvalue())
+        self.assertEqual(doc["files_checked"], 1)
+        self.assertEqual([f["rule"] for f in doc["findings"]], ["raw-mutex"])
+        self.assertEqual(doc["findings"][0]["line"], 1)
+
+    def test_json_format_clean_file(self):
+        import contextlib
+        import io
+        import json as json_mod
+        path = os.path.join(lint.REPO_ROOT, "src", "ok.cc")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("int f() { return 1; }\n")
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            status = lint.main(["lint.py", "--format=json", "src/ok.cc"])
+        self.assertEqual(status, 0)
+        self.assertEqual(json_mod.loads(out.getvalue())["findings"], [])
+
+    def test_detlint_corpus_dir_pruned_from_walk(self):
+        case_dir = os.path.join(lint.REPO_ROOT, "tests", "detlint", "cases")
+        os.makedirs(case_dir, exist_ok=True)
+        with open(os.path.join(case_dir, "violation.cc"), "w",
+                  encoding="utf-8") as f:
+            f.write("std::mutex mu;\n")
+        files = lint.collect_files(["tests"])
+        self.assertEqual(files, [])
 
 
 if __name__ == "__main__":
