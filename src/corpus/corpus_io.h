@@ -1,0 +1,106 @@
+// On-disk binary corpus format + mmap-backed reader (DESIGN.md §13).
+//
+// The scale path: StreamingCorpusGenerator → CorpusWriter streams a corpus
+// to disk one document at a time, and CorpusReader maps the file and
+// decodes single documents on demand — at no point does the full document
+// set reside in memory. Layout (all integers little-endian, the only
+// byte order this codebase targets):
+//
+//   header   : magic "IECP" | u32 version | u64 num_docs | u64 footer_off
+//   records  : per document, u32 payload_len then the payload —
+//              doc id, sentences (token-id arrays), gold mentions and
+//              tuples (annotation strings length-prefixed)
+//   offsets  : u64 byte offset of each record, indexed by doc id
+//   splits   : train/dev/test id arrays
+//   vocab    : terms in id order, length-prefixed
+//   footer   : section positions (located via the header's footer_off)
+//
+// The offset table makes ReadDoc(id) O(record size) on a mapped file; the
+// header fields are back-patched by Finish(), so a file without a valid
+// footer offset is an unfinished write and is rejected by Open().
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/corpus.h"
+#include "corpus/generator.h"
+
+namespace ie {
+
+/// Streams documents into a corpus file. Append documents in id order
+/// (ids must be sequential from 0 — what StreamingCorpusGenerator emits),
+/// then call Finish() exactly once; a file whose writer never reached
+/// Finish() is invalid by construction.
+class CorpusWriter {
+ public:
+  static StatusOr<CorpusWriter> Create(const std::string& path);
+
+  CorpusWriter(CorpusWriter&& other) noexcept;
+  CorpusWriter& operator=(CorpusWriter&& other) noexcept;
+  CorpusWriter(const CorpusWriter&) = delete;
+  CorpusWriter& operator=(const CorpusWriter&) = delete;
+  ~CorpusWriter();
+
+  Status Append(const Document& doc, const DocAnnotations& ann);
+
+  /// Writes the offset table, splits, vocabulary and footer, back-patches
+  /// the header, and closes the file.
+  Status Finish(const CorpusSplits& splits, const Vocabulary& vocab);
+
+  size_t num_docs() const { return offsets_.size(); }
+
+ private:
+  CorpusWriter() = default;
+
+  Status WriteBytes(const void* data, size_t size);
+
+  std::FILE* file_ = nullptr;
+  std::vector<uint64_t> offsets_;
+  uint64_t pos_ = 0;
+  bool finished_ = false;
+};
+
+/// Random-access reader over a finished corpus file. The file is mmap-ed
+/// read-only: documents are decoded on demand from the mapping, so resident
+/// memory is the touched pages plus the (small) vocabulary and splits,
+/// never the full document set.
+class CorpusReader {
+ public:
+  static StatusOr<CorpusReader> Open(const std::string& path);
+
+  CorpusReader(CorpusReader&&) noexcept;
+  CorpusReader& operator=(CorpusReader&&) noexcept;
+  CorpusReader(const CorpusReader&) = delete;
+  CorpusReader& operator=(const CorpusReader&) = delete;
+  ~CorpusReader();
+
+  size_t NumDocs() const;
+  const CorpusSplits& splits() const;
+  const std::shared_ptr<Vocabulary>& shared_vocab() const;
+  const Vocabulary& vocab() const { return *shared_vocab(); }
+
+  /// Decodes document `id` (and its annotations when `ann` is non-null)
+  /// from the mapping into caller-owned storage.
+  Status ReadDoc(DocId id, Document* doc, DocAnnotations* ann = nullptr) const;
+
+ private:
+  struct Rep;  // owns the mapping + decoded splits/vocab
+  CorpusReader();
+  std::unique_ptr<Rep> rep_;
+};
+
+/// Streams a generated corpus straight to `path` without materializing it;
+/// returns the number of documents written.
+StatusOr<size_t> WriteGeneratedCorpus(const GeneratorOptions& options,
+                                      const std::string& path);
+
+/// Materializes a corpus file fully in memory (tests and small corpora —
+/// the scale path keeps the CorpusReader instead).
+StatusOr<Corpus> ReadCorpusFile(const std::string& path);
+
+}  // namespace ie

@@ -32,12 +32,36 @@ struct Anchor {
   double weight = 0.0;
 };
 
+// The document-at-a-time core. Construction runs the full setup (topic
+// model, subtopics, anchor table); Next() then emits one document per call.
+// The rng call sequence — setup, then per-document draws in id order, then
+// the split shuffle — is exactly the sequence the original batch
+// GenerateCorpus performed, so streaming and batch generation are
+// byte-identical (the determinism golden tests pin this).
 class Generator {
  public:
   explicit Generator(const GeneratorOptions& options)
-      : options_(options), rng_(options.seed) {}
+      : options_(options),
+        rng_(options.seed),
+        vocab_(options.shared_vocab ? options.shared_vocab
+                                    : std::make_shared<Vocabulary>()) {
+    topic_model_ = std::make_unique<TopicModel>(
+        vocab_.get(), options_.num_background_topics,
+        options_.words_per_topic, &rng_);
+    BuildSubtopics();
+    BuildAnchorTable();
+  }
 
-  Corpus Generate();
+  const std::shared_ptr<Vocabulary>& shared_vocab() const { return vocab_; }
+  size_t num_documents() const { return options_.num_documents; }
+  size_t num_generated() const { return next_id_; }
+
+  /// Emits the next document (ids sequential from 0). Returns false once
+  /// options.num_documents documents have been generated.
+  bool Next(Document* doc, DocAnnotations* ann);
+
+  /// Split assignment over the generated ids; call after the last Next().
+  CorpusSplits MakeSplits();
 
  private:
   // --- setup ------------------------------------------------------------
@@ -76,19 +100,19 @@ class Generator {
                                 DocAnnotations& ann);
 
   // --- document assembly --------------------------------------------------
-  void GenerateDocument(Corpus& corpus);
+  void GenerateDocument(Document& doc, DocAnnotations& ann);
   void PlantRelationContent(RelationId relation, size_t subtopic,
                             bool plant_tuples, const Topic& topic,
                             Document& doc, DocAnnotations& ann);
   void MaybePlantDenseRelations(const Topic& topic, Document& doc,
                                 DocAnnotations& ann);
-  void AssignSplits(Corpus& corpus);
 
   const Topic& AnchorTopic(const Anchor& anchor) const;
 
   GeneratorOptions options_;
   Rng rng_;
-  Corpus* corpus_ = nullptr;  // set during Generate()
+  std::shared_ptr<Vocabulary> vocab_;
+  size_t next_id_ = 0;
   std::unique_ptr<TopicModel> topic_model_;
   // subtopics_[relation] = list of subtopic Topics (vocabulary).
   std::array<std::vector<Topic>, kNumRelations> subtopics_;
@@ -295,7 +319,7 @@ std::pair<uint32_t, uint32_t> Generator::AppendPhrase(
     Sentence& s, const std::string& phrase) {
   const uint32_t begin = static_cast<uint32_t>(s.tokens.size());
   for (const auto& piece : SplitString(phrase, " ")) {
-    s.tokens.push_back(corpus_->vocab().Intern(piece));
+    s.tokens.push_back(vocab_->Intern(piece));
   }
   return {begin, static_cast<uint32_t>(s.tokens.size())};
 }
@@ -303,7 +327,7 @@ std::pair<uint32_t, uint32_t> Generator::AppendPhrase(
 void Generator::AppendTopicalWords(Sentence& s, const Topic& topic,
                                    int count) {
   const Lexicon& lex = GetLexicon();
-  Vocabulary& vocab = corpus_->vocab();
+  Vocabulary& vocab = *vocab_;
   for (int i = 0; i < count; ++i) {
     const double roll = rng_.NextDouble();
     if (roll < 0.38) {
@@ -452,12 +476,9 @@ const Topic& Generator::AnchorTopic(const Anchor& anchor) const {
   return subtopics_[static_cast<size_t>(anchor.relation)][anchor.subtopic];
 }
 
-void Generator::GenerateDocument(Corpus& corpus) {
+void Generator::GenerateDocument(Document& doc, DocAnnotations& ann) {
   const Anchor& anchor = anchors_[rng_.NextCategorical(anchor_weights_)];
   const Topic& topic = AnchorTopic(anchor);
-
-  Document doc;
-  DocAnnotations ann;
 
   const int num_sentences = static_cast<int>(
       rng_.NextInt(options_.min_sentences, options_.max_sentences));
@@ -560,41 +581,73 @@ void Generator::GenerateDocument(Corpus& corpus) {
     for (auto& t : ann.tuples) t.sentence = remap(t.sentence);
   }
 
-  corpus.Add(std::move(doc), std::move(ann));
+  doc.id = static_cast<DocId>(next_id_++);
 }
 
-void Generator::AssignSplits(Corpus& corpus) {
-  std::vector<DocId> ids(corpus.size());
+bool Generator::Next(Document* doc, DocAnnotations* ann) {
+  if (next_id_ >= options_.num_documents) return false;
+  doc->sentences.clear();
+  ann->mentions.clear();
+  ann->tuples.clear();
+  GenerateDocument(*doc, *ann);
+  return true;
+}
+
+CorpusSplits Generator::MakeSplits() {
+  std::vector<DocId> ids(next_id_);
   std::iota(ids.begin(), ids.end(), 0);
   rng_.Shuffle(ids);
-  const double total = static_cast<double>(corpus.size());
+  const double total = static_cast<double>(next_id_);
   const size_t n_train = static_cast<size_t>(options_.train_fraction * total);
   const size_t n_dev = static_cast<size_t>(options_.dev_fraction * total);
-  CorpusSplits& splits = corpus.mutable_splits();
+  CorpusSplits splits;
   const auto train_end = ids.begin() + static_cast<std::ptrdiff_t>(n_train);
   const auto dev_end = train_end + static_cast<std::ptrdiff_t>(n_dev);
   splits.train.assign(ids.begin(), train_end);
   splits.dev.assign(train_end, dev_end);
   splits.test.assign(dev_end, ids.end());
-}
-
-Corpus Generator::Generate() {
-  Corpus corpus(options_.shared_vocab);
-  corpus_ = &corpus;
-  topic_model_ = std::make_unique<TopicModel>(
-      &corpus.vocab(), options_.num_background_topics,
-      options_.words_per_topic, &rng_);
-  BuildSubtopics();
-  BuildAnchorTable();
-  for (size_t i = 0; i < options_.num_documents; ++i) {
-    GenerateDocument(corpus);
-  }
-  AssignSplits(corpus);
-  corpus_ = nullptr;
-  return corpus;
+  return splits;
 }
 
 }  // namespace
+
+class StreamingCorpusGenerator::Impl {
+ public:
+  explicit Impl(const GeneratorOptions& options) : gen(options) {}
+  Generator gen;
+};
+
+StreamingCorpusGenerator::StreamingCorpusGenerator(
+    const GeneratorOptions& options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+StreamingCorpusGenerator::~StreamingCorpusGenerator() = default;
+StreamingCorpusGenerator::StreamingCorpusGenerator(
+    StreamingCorpusGenerator&&) noexcept = default;
+StreamingCorpusGenerator& StreamingCorpusGenerator::operator=(
+    StreamingCorpusGenerator&&) noexcept = default;
+
+const std::shared_ptr<Vocabulary>& StreamingCorpusGenerator::shared_vocab()
+    const {
+  return impl_->gen.shared_vocab();
+}
+
+size_t StreamingCorpusGenerator::num_documents() const {
+  return impl_->gen.num_documents();
+}
+
+size_t StreamingCorpusGenerator::num_generated() const {
+  return impl_->gen.num_generated();
+}
+
+bool StreamingCorpusGenerator::Next(Document* doc, DocAnnotations* ann) {
+  return impl_->gen.Next(doc, ann);
+}
+
+CorpusSplits StreamingCorpusGenerator::MakeSplits() {
+  IE_CHECK(impl_->gen.num_generated() == impl_->gen.num_documents());
+  return impl_->gen.MakeSplits();
+}
 
 GeneratorOptions GeneratorOptions::ForExtractorTraining(RelationId relation,
                                                         size_t num_documents,
@@ -614,8 +667,29 @@ GeneratorOptions GeneratorOptions::ForExtractorTraining(RelationId relation,
 }
 
 Corpus GenerateCorpus(const GeneratorOptions& options) {
-  Generator generator(options);
-  return generator.Generate();
+  StreamingCorpusGenerator gen(options);
+  Corpus corpus(gen.shared_vocab());
+  Document doc;
+  DocAnnotations ann;
+  while (gen.Next(&doc, &ann)) {
+    corpus.Add(std::move(doc), std::move(ann));
+  }
+  corpus.mutable_splits() = gen.MakeSplits();
+  return corpus;
+}
+
+StreamedCorpusInfo GenerateCorpusStreaming(const GeneratorOptions& options,
+                                           const DocumentVisitor& visit) {
+  StreamingCorpusGenerator gen(options);
+  Document doc;
+  DocAnnotations ann;
+  while (gen.Next(&doc, &ann)) {
+    visit(std::move(doc), std::move(ann));
+  }
+  StreamedCorpusInfo info;
+  info.vocab = gen.shared_vocab();
+  info.splits = gen.MakeSplits();
+  return info;
 }
 
 }  // namespace ie

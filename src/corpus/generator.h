@@ -9,6 +9,8 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <memory>
 
 #include "common/rng.h"
 #include "corpus/corpus.h"
@@ -60,5 +62,52 @@ struct GeneratorOptions {
 
 /// Generates a complete corpus (documents, annotations, splits).
 Corpus GenerateCorpus(const GeneratorOptions& options);
+
+/// Document-at-a-time generator: the streaming counterpart of
+/// GenerateCorpus for corpora too large to hold in memory. Pull documents
+/// with Next() (ids are sequential from 0; each call returns one document
+/// and its annotations, which the caller owns and may immediately write to
+/// disk or index and drop), then call MakeSplits() once after the last
+/// document. For a fixed GeneratorOptions the emitted documents, vocabulary
+/// and splits are byte-identical to GenerateCorpus — GenerateCorpus is
+/// itself implemented on top of this class.
+class StreamingCorpusGenerator {
+ public:
+  explicit StreamingCorpusGenerator(const GeneratorOptions& options);
+  ~StreamingCorpusGenerator();
+  StreamingCorpusGenerator(StreamingCorpusGenerator&&) noexcept;
+  StreamingCorpusGenerator& operator=(StreamingCorpusGenerator&&) noexcept;
+
+  /// The vocabulary documents are interned against. Grows as documents are
+  /// generated; stable once num_generated() == num_documents().
+  const std::shared_ptr<Vocabulary>& shared_vocab() const;
+
+  /// Total documents this generator will emit (options.num_documents).
+  size_t num_documents() const;
+  size_t num_generated() const;
+
+  /// Fills *doc / *ann with the next document. Returns false (leaving the
+  /// outputs untouched) once all documents have been generated.
+  bool Next(Document* doc, DocAnnotations* ann);
+
+  /// Train/dev/test assignment over the generated ids. Must be called after
+  /// the last Next(): it consumes the same rng stream position the batch
+  /// path uses, which is what keeps the two paths byte-identical.
+  CorpusSplits MakeSplits();
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Visitor-style convenience over StreamingCorpusGenerator: calls `visit`
+/// once per document in id order, then returns the vocabulary and splits.
+struct StreamedCorpusInfo {
+  std::shared_ptr<Vocabulary> vocab;
+  CorpusSplits splits;
+};
+using DocumentVisitor = std::function<void(Document&&, DocAnnotations&&)>;
+StreamedCorpusInfo GenerateCorpusStreaming(const GeneratorOptions& options,
+                                           const DocumentVisitor& visit);
 
 }  // namespace ie

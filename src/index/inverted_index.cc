@@ -36,14 +36,27 @@ size_t InvertedIndex::DocFreq(TokenId term) const {
   return it == postings_.end() ? 0 : it->second.size();
 }
 
+size_t InvertedIndex::PostingsBytes() const {
+  size_t bytes = 0;
+  // DETERMINISM: order-insensitive (summation of integer sizes)
+  for (const auto& [term, list] : postings_) {
+    bytes += sizeof(term) + sizeof(list) + list.capacity() * sizeof(Posting);
+  }
+  return bytes;
+}
+
 std::vector<SearchHit> InvertedIndex::Search(
     const std::vector<TokenId>& terms, size_t k) const {
   if (k == 0 || doc_lengths_.empty()) return {};
   const double n = static_cast<double>(NumDocs());
   const double avg_len = total_length_ / n;
 
+  // The query is a term set: walk each distinct term's posting list once
+  // (a repeated token used to re-walk its list and double-add its
+  // contribution). First-occurrence order fixes the per-document float
+  // accumulation order — the cross-backend byte-identity contract.
   std::unordered_map<DocId, double> scores;
-  for (TokenId term : terms) {
+  for (TokenId term : DedupeQueryTerms(terms)) {
     auto it = postings_.find(term);
     if (it == postings_.end()) continue;
     const double df = static_cast<double>(it->second.size());
@@ -65,29 +78,8 @@ std::vector<SearchHit> InvertedIndex::Search(
   for (const auto& [doc, score] : scores) {
     hits.push_back({doc, static_cast<float>(score)});
   }
-  auto better = [](const SearchHit& a, const SearchHit& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.doc < b.doc;
-  };
-  if (hits.size() > k) {
-    std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(k),
-                      hits.end(), better);
-    hits.resize(k);
-  } else {
-    std::sort(hits.begin(), hits.end(), better);
-  }
+  SortHitsTopK(hits, k);
   return hits;
-}
-
-std::vector<SearchHit> InvertedIndex::SearchText(const std::string& query,
-                                                 const Vocabulary& vocab,
-                                                 size_t k) const {
-  std::vector<TokenId> terms;
-  for (const auto& piece : SplitString(query, " \t")) {
-    const TokenId id = vocab.Lookup(piece);
-    if (id != Vocabulary::kInvalidId) terms.push_back(id);
-  }
-  return Search(terms, k);
 }
 
 }  // namespace ie

@@ -4,6 +4,10 @@
 // search-interface access scenario retrieve documents through: documents
 // are ranked by how well they match the query, NOT by extraction
 // usefulness, which is exactly the mismatch the paper's rankers fix.
+//
+// This is the uncompressed reference backend of the SearchIndex interface;
+// CompactIndex (compact_index.h) is the scale backend and must return
+// byte-identical hits.
 #pragma once
 
 #include <cstdint>
@@ -12,22 +16,13 @@
 #include <vector>
 
 #include "common/status.h"
+#include "index/search_index.h"
 #include "text/document.h"
 #include "text/vocabulary.h"
 
 namespace ie {
 
-struct SearchHit {
-  DocId doc = 0;
-  float score = 0.0f;
-};
-
-struct Bm25Params {
-  double k1 = 1.2;
-  double b = 0.75;
-};
-
-class InvertedIndex {
+class InvertedIndex : public SearchIndex {
  public:
   explicit InvertedIndex(Bm25Params params = {}) : params_(params) {}
 
@@ -35,22 +30,17 @@ class InvertedIndex {
   /// added in any id order; re-adding the same id is an error.
   Status Add(const Document& doc);
 
-  size_t NumDocs() const { return doc_lengths_.size(); }
-  size_t NumPostings() const { return num_postings_; }
+  size_t NumDocs() const override { return doc_lengths_.size(); }
+  size_t NumPostings() const override { return num_postings_; }
 
-  /// Document frequency of a term (0 when unseen).
-  size_t DocFreq(TokenId term) const;
+  size_t DocFreq(TokenId term) const override;
 
-  /// Disjunctive (OR) BM25 top-k retrieval for a multi-term query.
-  /// Ties broken by doc id for determinism. Terms absent from the index
-  /// contribute nothing.
   std::vector<SearchHit> Search(const std::vector<TokenId>& terms,
-                                size_t k) const;
+                                size_t k) const override;
 
-  /// Convenience: tokenizes `query` by whitespace, looks terms up in
-  /// `vocab` (unknown words are dropped), and searches.
-  std::vector<SearchHit> SearchText(const std::string& query,
-                                    const Vocabulary& vocab, size_t k) const;
+  /// Uncompressed accounting: allocated posting capacity plus the per-term
+  /// hash-table entries.
+  size_t PostingsBytes() const override;
 
  private:
   struct Posting {

@@ -1,0 +1,46 @@
+#include "index/search_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace ie {
+
+std::vector<SearchHit> SearchIndex::SearchText(const std::string& query,
+                                               const Vocabulary& vocab,
+                                               size_t k) const {
+  std::vector<TokenId> terms;
+  for (const auto& piece : SplitString(query, " \t\r\n")) {
+    const TokenId id = vocab.Lookup(piece);
+    if (id != Vocabulary::kInvalidId) terms.push_back(id);
+  }
+  return Search(terms, k);
+}
+
+std::vector<TokenId> DedupeQueryTerms(const std::vector<TokenId>& terms) {
+  std::vector<TokenId> unique;
+  unique.reserve(terms.size());
+  std::unordered_set<TokenId> seen;
+  for (TokenId term : terms) {
+    if (seen.insert(term).second) unique.push_back(term);
+  }
+  return unique;
+}
+
+void SortHitsTopK(std::vector<SearchHit>& hits, size_t k) {
+  auto better = [](const SearchHit& a, const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  };
+  if (hits.size() > k) {
+    using Diff = std::vector<SearchHit>::difference_type;
+    std::partial_sort(hits.begin(), hits.begin() + static_cast<Diff>(k),
+                      hits.end(), better);
+    hits.resize(k);
+  } else {
+    std::sort(hits.begin(), hits.end(), better);
+  }
+}
+
+}  // namespace ie

@@ -136,6 +136,16 @@ InvertedIndex BuildPoolIndex(const Corpus& corpus,
   return index;
 }
 
+CompactIndex BuildCompactPoolIndex(const Corpus& corpus,
+                                   const std::vector<DocId>& pool) {
+  CompactIndex index;
+  for (DocId id : pool) {
+    IE_CHECK(index.Add(corpus.doc(id)).ok());
+  }
+  index.Finalize();
+  return index;
+}
+
 namespace {
 
 std::unique_ptr<DocumentRanker> MakeRanker(const PipelineConfig& config,

@@ -11,6 +11,7 @@
 
 #include "corpus/corpus.h"
 #include "extract/extraction_system.h"
+#include "index/compact_index.h"
 #include "index/inverted_index.h"
 #include "pipeline/result.h"
 #include "ranking/document_ranker.h"
@@ -115,7 +116,7 @@ struct PipelineContext {
   /// Word-feature vectors indexed by DocId (see FeaturizePool).
   const std::vector<SparseVector>* word_features = nullptr;
   /// Index over the pool; required for CQS and search-interface access.
-  const InvertedIndex* index = nullptr;
+  const SearchIndex* index = nullptr;
   /// One learned query list for CQS (required when sampler == kCQS).
   const std::vector<std::string>* cqs_queries = nullptr;
   /// Optional live extraction: when set, every processed document runs the
@@ -142,9 +143,15 @@ std::vector<SparseVector> FeaturizePool(const Corpus& corpus,
 /// result is exactly the serial one.
 std::vector<float> ComputeIdf(const Corpus& corpus, size_t threads = 1);
 
-/// Builds an index over the pool documents.
+/// Builds an index over the pool documents (the uncompressed reference
+/// backend; PipelineContext::index accepts either backend).
 InvertedIndex BuildPoolIndex(const Corpus& corpus,
                              const std::vector<DocId>& pool);
+
+/// Builds the compressed scale backend over the pool documents (finalized,
+/// ready to search). Byte-identical retrieval to BuildPoolIndex's result.
+CompactIndex BuildCompactPoolIndex(const Corpus& corpus,
+                                   const std::vector<DocId>& pool);
 
 class AdaptiveExtractionPipeline {
  public:

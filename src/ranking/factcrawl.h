@@ -13,7 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "index/inverted_index.h"
+#include "index/search_index.h"
 #include "learn/binary_svm.h"
 #include "ranking/query_learning.h"
 #include "text/document.h"
@@ -40,7 +40,7 @@ struct FactCrawlOptions {
 
 class FactCrawl {
  public:
-  FactCrawl(FactCrawlOptions options, const InvertedIndex* index,
+  FactCrawl(FactCrawlOptions options, const SearchIndex* index,
             const Vocabulary* vocab)
       : options_(options), index_(index), vocab_(vocab) {}
 
@@ -90,7 +90,7 @@ class FactCrawl {
   void RetrieveSetFor(size_t query_index);
 
   FactCrawlOptions options_;
-  const InvertedIndex* index_;
+  const SearchIndex* index_;
   const Vocabulary* vocab_;
 
   std::vector<QueryStats> queries_;

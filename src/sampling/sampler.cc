@@ -16,7 +16,7 @@ std::vector<DocId> SrsSampler::Sample(const std::vector<DocId>& pool,
 }
 
 CqsSampler::CqsSampler(std::vector<std::string> queries,
-                       const InvertedIndex* index, const Vocabulary* vocab,
+                       const SearchIndex* index, const Vocabulary* vocab,
                        size_t batch_per_query, size_t max_retrieval_depth)
     : queries_(std::move(queries)),
       index_(index),

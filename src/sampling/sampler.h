@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "index/inverted_index.h"
+#include "index/search_index.h"
 #include "text/document.h"
 #include "text/vocabulary.h"
 
@@ -39,7 +39,7 @@ class CqsSampler : public Sampler {
   /// `queries` is one learned query list (paper: learned with the QXtract
   /// SVM method on a separate collection); `batch_per_query` is the K of
   /// "the next K documents that each query retrieves".
-  CqsSampler(std::vector<std::string> queries, const InvertedIndex* index,
+  CqsSampler(std::vector<std::string> queries, const SearchIndex* index,
              const Vocabulary* vocab, size_t batch_per_query = 10,
              size_t max_retrieval_depth = 2000);
 
@@ -51,7 +51,7 @@ class CqsSampler : public Sampler {
 
  private:
   std::vector<std::string> queries_;
-  const InvertedIndex* index_;
+  const SearchIndex* index_;
   const Vocabulary* vocab_;
   size_t batch_per_query_;
   size_t max_retrieval_depth_;

@@ -1,0 +1,186 @@
+// Streaming corpus generation + on-disk format round-trip (DESIGN.md §13):
+// the streaming generator must be byte-identical to batch GenerateCorpus,
+// and write → mmap-read must reproduce every document, annotation, split
+// and vocabulary term exactly.
+#include "corpus/corpus_io.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+
+namespace ie {
+namespace {
+
+GeneratorOptions SmallOptions() {
+  GeneratorOptions options;
+  options.num_documents = 300;
+  options.seed = 7;
+  return options;
+}
+
+std::string TmpPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void ExpectSameDoc(const Document& a, const Document& b) {
+  EXPECT_EQ(a.id, b.id);
+  ASSERT_EQ(a.sentences.size(), b.sentences.size());
+  for (size_t s = 0; s < a.sentences.size(); ++s) {
+    EXPECT_EQ(a.sentences[s].tokens, b.sentences[s].tokens);
+  }
+}
+
+void ExpectSameAnnotations(const DocAnnotations& a, const DocAnnotations& b) {
+  ASSERT_EQ(a.mentions.size(), b.mentions.size());
+  for (size_t i = 0; i < a.mentions.size(); ++i) {
+    EXPECT_EQ(a.mentions[i].sentence, b.mentions[i].sentence);
+    EXPECT_EQ(a.mentions[i].begin, b.mentions[i].begin);
+    EXPECT_EQ(a.mentions[i].end, b.mentions[i].end);
+    EXPECT_EQ(a.mentions[i].type, b.mentions[i].type);
+    EXPECT_EQ(a.mentions[i].value, b.mentions[i].value);
+  }
+  ASSERT_EQ(a.tuples.size(), b.tuples.size());
+  for (size_t i = 0; i < a.tuples.size(); ++i) {
+    EXPECT_EQ(a.tuples[i].relation, b.tuples[i].relation);
+    EXPECT_EQ(a.tuples[i].attr1, b.tuples[i].attr1);
+    EXPECT_EQ(a.tuples[i].attr2, b.tuples[i].attr2);
+    EXPECT_EQ(a.tuples[i].sentence, b.tuples[i].sentence);
+  }
+}
+
+void ExpectSameSplits(const CorpusSplits& a, const CorpusSplits& b) {
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.dev, b.dev);
+  EXPECT_EQ(a.test, b.test);
+}
+
+TEST(StreamingGeneratorTest, ByteIdenticalToBatchGeneration) {
+  const Corpus batch = GenerateCorpus(SmallOptions());
+
+  StreamingCorpusGenerator gen(SmallOptions());
+  EXPECT_EQ(gen.num_documents(), 300u);
+  Document doc;
+  DocAnnotations ann;
+  size_t count = 0;
+  while (gen.Next(&doc, &ann)) {
+    ASSERT_LT(count, batch.size());
+    EXPECT_EQ(doc.id, count);
+    ExpectSameDoc(batch.doc(static_cast<DocId>(count)), doc);
+    ExpectSameAnnotations(batch.annotations(static_cast<DocId>(count)), ann);
+    ++count;
+  }
+  EXPECT_EQ(count, batch.size());
+  EXPECT_EQ(gen.num_generated(), count);
+  ExpectSameSplits(batch.splits(), gen.MakeSplits());
+  // Same vocabulary, term for term.
+  ASSERT_EQ(gen.shared_vocab()->size(), batch.vocab().size());
+  for (uint32_t id = 0; id < batch.vocab().size(); ++id) {
+    EXPECT_EQ(gen.shared_vocab()->Term(id), batch.vocab().Term(id));
+  }
+}
+
+TEST(StreamingGeneratorTest, VisitorConvenienceCoversAllDocuments) {
+  size_t visits = 0;
+  DocId last_id = 0;
+  const StreamedCorpusInfo info =
+      GenerateCorpusStreaming(SmallOptions(), [&](Document&& doc,
+                                                  DocAnnotations&&) {
+        EXPECT_EQ(doc.id, visits);
+        last_id = doc.id;
+        ++visits;
+      });
+  EXPECT_EQ(visits, 300u);
+  EXPECT_EQ(last_id, 299u);
+  EXPECT_EQ(info.splits.train.size() + info.splits.dev.size() +
+                info.splits.test.size(),
+            300u);
+  EXPECT_GT(info.vocab->size(), 0u);
+}
+
+TEST(CorpusIoTest, WriteReadRoundTrip) {
+  const std::string path = TmpPath("roundtrip.iecp");
+  const auto written = WriteGeneratedCorpus(SmallOptions(), path);
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  EXPECT_EQ(*written, 300u);
+
+  const Corpus batch = GenerateCorpus(SmallOptions());
+  auto read = ReadCorpusFile(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  const Corpus& loaded = *read;
+
+  ASSERT_EQ(loaded.size(), batch.size());
+  for (DocId id = 0; id < batch.size(); ++id) {
+    ExpectSameDoc(batch.doc(id), loaded.doc(id));
+    ExpectSameAnnotations(batch.annotations(id), loaded.annotations(id));
+  }
+  ExpectSameSplits(batch.splits(), loaded.splits());
+  ASSERT_EQ(loaded.vocab().size(), batch.vocab().size());
+  for (uint32_t id = 0; id < batch.vocab().size(); ++id) {
+    EXPECT_EQ(loaded.vocab().Term(id), batch.vocab().Term(id));
+  }
+}
+
+TEST(CorpusIoTest, ReaderRandomAccess) {
+  const std::string path = TmpPath("random_access.iecp");
+  ASSERT_TRUE(WriteGeneratedCorpus(SmallOptions(), path).ok());
+  const Corpus batch = GenerateCorpus(SmallOptions());
+
+  auto reader = CorpusReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->NumDocs(), 300u);
+
+  Document doc;
+  DocAnnotations ann;
+  // Arbitrary ids, out of write order; annotations optional.
+  for (DocId id : {299u, 0u, 150u, 7u, 298u}) {
+    ASSERT_TRUE(reader->ReadDoc(id, &doc, &ann).ok());
+    ExpectSameDoc(batch.doc(id), doc);
+    ExpectSameAnnotations(batch.annotations(id), ann);
+    ASSERT_TRUE(reader->ReadDoc(id, &doc).ok());  // without annotations
+    ExpectSameDoc(batch.doc(id), doc);
+  }
+  EXPECT_TRUE(reader->ReadDoc(300, &doc).IsOutOfRange());
+}
+
+TEST(CorpusIoTest, UnfinishedFileRejected) {
+  const std::string path = TmpPath("unfinished.iecp");
+  {
+    auto writer = CorpusWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    Document doc;
+    doc.id = 0;
+    doc.sentences.push_back(Sentence{{1, 2, 3}});
+    ASSERT_TRUE(writer->Append(doc, DocAnnotations{}).ok());
+    // Dropped without Finish(): header never gets a footer offset.
+  }
+  EXPECT_FALSE(CorpusReader::Open(path).ok());
+}
+
+TEST(CorpusIoTest, WriterEnforcesSequentialIds) {
+  const std::string path = TmpPath("idorder.iecp");
+  auto writer = CorpusWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  Document doc;
+  doc.id = 5;
+  EXPECT_TRUE(writer->Append(doc, DocAnnotations{}).IsInvalidArgument());
+  doc.id = 0;
+  EXPECT_TRUE(writer->Append(doc, DocAnnotations{}).ok());
+  EXPECT_TRUE(writer->Append(doc, DocAnnotations{}).IsInvalidArgument());
+  EXPECT_EQ(writer->num_docs(), 1u);
+}
+
+TEST(CorpusIoTest, GarbageFileRejected) {
+  const std::string path = TmpPath("garbage.iecp");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[] = "this is not a corpus file, not even close to one....";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_FALSE(CorpusReader::Open(path).ok());
+}
+
+}  // namespace
+}  // namespace ie

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "text/tokenizer.h"
 
 namespace ie {
@@ -121,6 +123,57 @@ TEST_F(IndexTest, NumDocsAndPostings) {
   Add(1, "a.");
   EXPECT_EQ(index_.NumDocs(), 2u);
   EXPECT_EQ(index_.NumPostings(), 3u);  // (a,0),(b,0),(a,1)
+}
+
+TEST_F(IndexTest, DuplicateQueryTermNotDoubleCounted) {
+  // Regression: a repeated query token used to re-walk its posting list
+  // and double-add its contribution, so {t, t} diverged from {t}.
+  Add(0, "storm storm hit the coast with rain.");
+  Add(1, "storm was mentioned here once only.");
+  const auto once = index_.Search(Terms("storm"), 10);
+  const auto twice = index_.Search(Terms("storm storm"), 10);
+  ASSERT_EQ(once.size(), 2u);
+  ASSERT_EQ(twice.size(), 2u);
+  for (size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(once[i].doc, twice[i].doc);
+    EXPECT_EQ(once[i].score, twice[i].score);  // exact, not approximate
+  }
+  // Mixed duplicates too: {a, b, a} == {a, b}.
+  const auto pair_hits = index_.Search(Terms("storm coast"), 10);
+  const auto dup_hits = index_.Search(Terms("storm coast storm"), 10);
+  ASSERT_EQ(pair_hits.size(), dup_hits.size());
+  for (size_t i = 0; i < pair_hits.size(); ++i) {
+    EXPECT_EQ(pair_hits[i].doc, dup_hits[i].doc);
+    EXPECT_EQ(pair_hits[i].score, dup_hits[i].score);
+  }
+}
+
+TEST_F(IndexTest, KLargerThanNumDocs) {
+  Add(0, "alpha beta.");
+  Add(1, "alpha gamma.");
+  const auto hits = index_.Search(Terms("alpha"), 1000);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST_F(IndexTest, SingleDocCorpusAvgLenPath) {
+  // One document: avg_len == len exactly, so the BM25 length term reduces
+  // to k1 * 1.0 — the score must be finite and positive, not NaN.
+  Add(0, "solo document with a handful of words.");
+  const auto hits = index_.Search(Terms("solo words"), 10);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_TRUE(std::isfinite(hits[0].score));
+  EXPECT_GT(hits[0].score, 0.0f);
+}
+
+TEST_F(IndexTest, SearchTextSplitsOnAllWhitespace) {
+  Add(0, "alpha beta gamma.");
+  // Tabs, carriage returns and newlines are separators, not token bytes —
+  // a query pasted from a file must not glue terms together.
+  const auto hits = index_.SearchText("alpha\tbeta\r\ngamma", vocab_, 10);
+  ASSERT_EQ(hits.size(), 1u);
+  const auto space_hits = index_.SearchText("alpha beta gamma", vocab_, 10);
+  ASSERT_EQ(space_hits.size(), 1u);
+  EXPECT_EQ(hits[0].score, space_hits[0].score);
 }
 
 }  // namespace

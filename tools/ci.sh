@@ -67,6 +67,30 @@ IE_BENCH_DOCS=4000 ./build-default/bench/bench_extract \
     --threads=1,2 --out=build-default/BENCH_extract.json \
     --trace=build-default/trace_extract.json
 
+step "bench_index smoke (streaming corpus + compact index scale path)"
+# One small tier end-to-end: stream-generate to the on-disk corpus format,
+# build both SearchIndex backends from the mapped file, prove byte-identical
+# hits and record the postings-compression ratio. The ≥4x @ 1M-doc gate
+# self-skips below the million-doc tier (run the full tiers with
+# `./build-default/bench/bench_index` to refresh BENCH_index.json).
+IE_BENCH_DOCS=4000 ./build-default/bench/bench_index \
+    --out=build-default/BENCH_index.json
+python3 - build-default/BENCH_index.json <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+if not data["byte_identical"]:
+    sys.exit("FAIL: CompactIndex hits differ from InvertedIndex")
+ratio = data["tiers"][0]["compression_ratio"]
+print("compression_ratio = %.2fx" % ratio)
+EOF
+
+step "detlint over the index/scale layer (src rules, bench included)"
+# The new scale-path files must satisfy the src/-scoped determinism rules
+# even where they live outside src/ (the bench harness drives the same
+# backends CI certifies byte-identical).
+python3 tools/lint.py --treat-as-src src/index src/corpus/corpus_io.cc \
+    bench/bench_index.cc
+
 step "trace validation (tools/check_trace.py)"
 # The exported trace must be well-formed, balanced, and monotonic, and
 # must actually cover the hot phases: pipeline rank/consume/update spans,
