@@ -1,0 +1,112 @@
+// Bump allocator for per-document transient state (DESIGN.md §14). The
+// featurizer's per-doc hot loop (count table, entry staging) allocates
+// from a thread_local Arena and calls Reset() between documents, so the
+// global allocator is only touched while the arena grows toward its
+// steady-state capacity.
+//
+// Lifetime rules:
+//  - Allocate() returns raw storage valid until the next Reset(); no
+//    destructors run, so only trivially-destructible payloads belong here.
+//  - Reset() recycles every chunk without returning memory to the global
+//    allocator; pointers from before the Reset are dangling.
+//  - Not thread-safe: intended for thread_local scratch, one arena per
+//    thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace ie {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(size_t first_chunk_bytes = kDefaultChunkBytes)
+      : first_chunk_bytes_(first_chunk_bytes == 0 ? kDefaultChunkBytes
+                                                  : first_chunk_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw storage for `bytes` bytes at alignment `align` (a power of two).
+  void* Allocate(size_t bytes, size_t align) {
+    uintptr_t p = (ptr_ + align - 1) & ~(align - 1);
+    if (p + bytes > end_) {
+      NextChunk(bytes + align);
+      p = (ptr_ + align - 1) & ~(align - 1);
+    }
+    ptr_ = p + bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Uninitialized storage for `n` elements of T. The caller fills it;
+  /// nothing is ever destroyed, so T must be trivially destructible.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory never runs destructors");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Recycles all chunks: subsequent allocations reuse the existing memory
+  /// from the start. O(1); nothing is freed.
+  void Reset() {
+    chunk_index_ = 0;
+    if (chunks_.empty()) {
+      ptr_ = end_ = 0;
+    } else {
+      ptr_ = reinterpret_cast<uintptr_t>(chunks_[0].data.get());
+      end_ = ptr_ + chunks_[0].size;
+    }
+  }
+
+  /// Total bytes owned across all chunks (the steady-state footprint).
+  size_t TotalCapacity() const {
+    size_t total = 0;
+    for (const Chunk& chunk : chunks_) total += chunk.size;
+    return total;
+  }
+
+  size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+  };
+
+  // Advances to the next chunk able to hold `need` bytes, allocating a new
+  // one (double the last, at least `need`) when the existing chunks are
+  // exhausted or too small.
+  void NextChunk(size_t need) {
+    while (chunk_index_ + 1 < chunks_.size()) {
+      ++chunk_index_;
+      if (chunks_[chunk_index_].size >= need) {
+        SetCurrent(chunk_index_);
+        return;
+      }
+    }
+    size_t size = chunks_.empty() ? first_chunk_bytes_
+                                  : chunks_.back().size * 2;
+    if (size < need) size = need;
+    chunks_.push_back(Chunk{std::make_unique<uint8_t[]>(size), size});
+    chunk_index_ = chunks_.size() - 1;
+    SetCurrent(chunk_index_);
+  }
+
+  void SetCurrent(size_t index) {
+    ptr_ = reinterpret_cast<uintptr_t>(chunks_[index].data.get());
+    end_ = ptr_ + chunks_[index].size;
+  }
+
+  size_t first_chunk_bytes_;
+  uintptr_t ptr_ = 0;
+  uintptr_t end_ = 0;
+  std::vector<Chunk> chunks_;
+  size_t chunk_index_ = 0;
+};
+
+}  // namespace ie

@@ -5,7 +5,7 @@
 #include <numeric>
 
 #include "common/logging.h"
-#include "common/ordered.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 
 namespace ie {
@@ -97,56 +97,78 @@ double CompactIndex::Contribution(double idf, uint32_t tf, DocId doc) const {
   return idf * (tfd * (params_.k1 + 1.0)) / denom;
 }
 
-void CompactIndex::Finalize() {
+void CompactIndex::Finalize(size_t threads) {
   if (finalized_) return;
   const double n = static_cast<double>(NumDocs());
   avg_len_ = n > 0.0 ? total_length_ / n : 0.0;
   finalized_ = true;  // Contribution() needs avg_len_ set
 
-  std::vector<StagedPosting> list;
-  ForEachSorted(staged_, [&](TokenId term,
-                             const std::vector<StagedPosting>& staged) {
-    list.assign(staged.begin(), staged.end());
-    std::sort(list.begin(), list.end(),
-              [](const StagedPosting& a, const StagedPosting& b) {
-                return a.doc < b.doc;
-              });
-    Shard& shard = shards_[ShardOf(term)];
-    TermMeta meta;
-    meta.doc_freq = static_cast<uint32_t>(list.size());
-    const double df = static_cast<double>(list.size());
-    // Same idf expression as InvertedIndex::Search.
-    meta.idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
-    meta.first_block = static_cast<uint32_t>(shard.blocks.size());
-    for (size_t begin = 0; begin < list.size(); begin += kBlockSize) {
-      const size_t end = std::min(list.size(), begin + kBlockSize);
-      BlockMeta block;
-      block.offset = shard.blob.size();
-      block.count = static_cast<uint32_t>(end - begin);
-      block.last_doc = list[end - 1].doc;
-      DocId prev = 0;
-      for (size_t i = begin; i < end; ++i) {
-        // First posting of a block stores the absolute doc id, so blocks
-        // decode independently after a skip; the rest store gaps. The low
-        // bit flags a tf varint — most postings have tf == 1 and pay no
-        // tf byte at all.
-        const uint32_t value =
-            i == begin ? list[i].doc : list[i].doc - prev;
-        const bool has_tf = list[i].tf != 1;
-        EncodeVarint(&shard.blob, (value << 1) | (has_tf ? 1u : 0u));
-        if (has_tf) EncodeVarint(&shard.blob, list[i].tf);
-        prev = list[i].doc;
-        block.max_score =
-            std::max(block.max_score,
-                     Contribution(meta.idf, list[i].tf, list[i].doc));
+  // Bucket the staged terms per shard and sort each bucket. The historical
+  // serial pass visited terms in globally ascending order, so per shard it
+  // encoded exactly that shard's terms in ascending order — which is what
+  // each bucket reproduces. Shards never read each other's state, so the
+  // per-shard encode below is byte-identical to the serial build whether
+  // it runs on one thread or many.
+  std::vector<std::vector<TokenId>> shard_terms(shards_.size());
+  // DETERMINISM: order-insensitive (bucketing only: one term lands in
+  // exactly one bucket, and every bucket is sorted before encoding)
+  for (const auto& [term, staged] : staged_) {
+    (void)staged;
+    shard_terms[ShardOf(term)].push_back(term);
+  }
+  for (std::vector<TokenId>& bucket : shard_terms) {
+    std::sort(bucket.begin(), bucket.end());
+  }
+
+  // Per-shard encode: writes only shards_[s]; staged_ is read-only here,
+  // so concurrent shard tasks are safe and deterministic.
+  auto encode_shard = [&](size_t s) {
+    Shard& shard = shards_[s];
+    std::vector<StagedPosting> list;
+    for (const TokenId term : shard_terms[s]) {
+      const std::vector<StagedPosting>& staged = staged_.at(term);
+      list.assign(staged.begin(), staged.end());
+      std::sort(list.begin(), list.end(),
+                [](const StagedPosting& a, const StagedPosting& b) {
+                  return a.doc < b.doc;
+                });
+      TermMeta meta;
+      meta.doc_freq = static_cast<uint32_t>(list.size());
+      const double df = static_cast<double>(list.size());
+      // Same idf expression as InvertedIndex::Search.
+      meta.idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+      meta.first_block = static_cast<uint32_t>(shard.blocks.size());
+      for (size_t begin = 0; begin < list.size(); begin += kBlockSize) {
+        const size_t end = std::min(list.size(), begin + kBlockSize);
+        BlockMeta block;
+        block.offset = shard.blob.size();
+        block.count = static_cast<uint32_t>(end - begin);
+        block.last_doc = list[end - 1].doc;
+        DocId prev = 0;
+        for (size_t i = begin; i < end; ++i) {
+          // First posting of a block stores the absolute doc id, so blocks
+          // decode independently after a skip; the rest store gaps. The low
+          // bit flags a tf varint — most postings have tf == 1 and pay no
+          // tf byte at all.
+          const uint32_t value =
+              i == begin ? list[i].doc : list[i].doc - prev;
+          const bool has_tf = list[i].tf != 1;
+          EncodeVarint(&shard.blob, (value << 1) | (has_tf ? 1u : 0u));
+          if (has_tf) EncodeVarint(&shard.blob, list[i].tf);
+          prev = list[i].doc;
+          block.max_score =
+              std::max(block.max_score,
+                       Contribution(meta.idf, list[i].tf, list[i].doc));
+        }
+        meta.max_score = std::max(meta.max_score, block.max_score);
+        shard.blocks.push_back(block);
       }
-      meta.max_score = std::max(meta.max_score, block.max_score);
-      shard.blocks.push_back(block);
+      meta.num_blocks =
+          static_cast<uint32_t>(shard.blocks.size()) - meta.first_block;
+      shard.terms.emplace(term, meta);
     }
-    meta.num_blocks =
-        static_cast<uint32_t>(shard.blocks.size()) - meta.first_block;
-    shard.terms.emplace(term, meta);
-  });
+  };
+  ParallelFor(shards_.size(), threads, encode_shard);
   staged_.clear();
   for (Shard& shard : shards_) {
     shard.blob.shrink_to_fit();

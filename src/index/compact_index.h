@@ -51,8 +51,12 @@ class CompactIndex : public SearchIndex {
 
   /// Compresses the staged postings into the sharded store and computes
   /// the block-max metadata. Idempotent; called implicitly by nothing —
-  /// builders call it exactly once after the last Add().
-  void Finalize();
+  /// builders call it exactly once after the last Add(). With threads > 1
+  /// the shards are encoded with ParallelFor, one task per shard — each
+  /// shard's content depends only on its own terms (visited in ascending
+  /// term order), so the output is byte-identical to the serial build at
+  /// any thread count.
+  void Finalize(size_t threads = 1);
 
   bool finalized() const { return finalized_; }
 

@@ -59,9 +59,11 @@ void ElasticNetSgd::Refresh(uint32_t id) {
 }
 
 double ElasticNetSgd::Score(const SparseVector& x) const {
+  const uint32_t* ids = x.ids();
+  const float* vals = x.values();
   double s = 0.0;
-  for (const auto& [id, value] : x) {
-    s += CurrentWeight(id) * static_cast<double>(value);
+  for (size_t i = 0; i < x.size(); ++i) {
+    s += CurrentWeight(ids[i]) * static_cast<double>(vals[i]);
   }
   return s;
 }
@@ -76,7 +78,10 @@ void ElasticNetSgd::BeginStep() {
 }
 
 void ElasticNetSgd::ApplyGradient(const SparseVector& x, double factor) {
-  for (const auto& [id, value] : x) {
+  const uint32_t* ids = x.ids();
+  const float* vals = x.values();
+  for (size_t i = 0; i < x.size(); ++i) {
+    const uint32_t id = ids[i];
     EnsureFeature(id);
     if (touched_slot_[id] == 0) {
       // First touch since the last commit: values_[id] still holds the
@@ -86,7 +91,7 @@ void ElasticNetSgd::ApplyGradient(const SparseVector& x, double factor) {
       touched_slot_[id] = static_cast<uint32_t>(touched_ids_.size());
     }
     Refresh(id);
-    values_[id] += factor * static_cast<double>(value);
+    values_[id] += factor * static_cast<double>(vals[i]);
   }
 }
 
@@ -156,10 +161,9 @@ FactoredWeightDelta ElasticNetSgd::CommitAll() {
     const double s2 = sign(w2);
     const double affine = w1 == 0.0 ? 0.0 : k * w1 - p * s1;
     const double correction = w2 - affine;
-    if (correction != 0.0) delta.margin_correction.entries.push_back(
-        {id, correction});
+    if (correction != 0.0) delta.margin_correction.Add(id, correction);
     if (s1 != s2) {
-      delta.sign_correction.entries.push_back({id, s2 - s1});
+      delta.sign_correction.Add(id, s2 - s1);
       if (s2 == 0.0) ++zero_clamps;  // lazy L1 drove the weight to exact 0
     }
   }

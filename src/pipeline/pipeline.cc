@@ -137,12 +137,13 @@ InvertedIndex BuildPoolIndex(const Corpus& corpus,
 }
 
 CompactIndex BuildCompactPoolIndex(const Corpus& corpus,
-                                   const std::vector<DocId>& pool) {
+                                   const std::vector<DocId>& pool,
+                                   size_t build_threads) {
   CompactIndex index;
   for (DocId id : pool) {
     IE_CHECK(index.Add(corpus.doc(id)).ok());
   }
-  index.Finalize();
+  index.Finalize(build_threads);
   return index;
 }
 

@@ -149,9 +149,11 @@ InvertedIndex BuildPoolIndex(const Corpus& corpus,
                              const std::vector<DocId>& pool);
 
 /// Builds the compressed scale backend over the pool documents (finalized,
-/// ready to search). Byte-identical retrieval to BuildPoolIndex's result.
+/// ready to search). Byte-identical retrieval to BuildPoolIndex's result
+/// at any build_threads count (the shards encode independently).
 CompactIndex BuildCompactPoolIndex(const Corpus& corpus,
-                                   const std::vector<DocId>& pool);
+                                   const std::vector<DocId>& pool,
+                                   size_t build_threads = 1);
 
 class AdaptiveExtractionPipeline {
  public:

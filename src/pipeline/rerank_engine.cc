@@ -101,14 +101,10 @@ bool RerankEngine::TryDeltaRescore() {
   size_t posting_touches = 0;
   for (size_t c = 0; c < components_; ++c) {
     deltas.push_back(ranker_->ComponentSnapshotDelta(c));
-    for (const auto& [feature, change] :
-         deltas.back().margin_correction.entries) {
-      (void)change;
+    for (const uint32_t feature : deltas.back().margin_correction.ids) {
       posting_touches += posting_index_.Postings(feature).size();
     }
-    for (const auto& [feature, change] :
-         deltas.back().sign_correction.entries) {
-      (void)change;
+    for (const uint32_t feature : deltas.back().sign_correction.ids) {
       posting_touches += posting_index_.Postings(feature).size();
     }
   }
@@ -158,7 +154,9 @@ bool RerankEngine::TryDeltaRescore() {
   for (size_t c = 0; c < components_; ++c) {
     auto scatter = [&](const WeightDelta& correction,
                        std::vector<double>& target) {
-      for (const auto& [feature, change] : correction.entries) {
+      for (size_t k = 0; k < correction.size(); ++k) {
+        const uint32_t feature = correction.ids[k];
+        const double change = correction.values[k];
         for (const FeaturePostingIndex::Posting& posting :
              posting_index_.Postings(feature)) {
           const uint32_t slot = posting.item;

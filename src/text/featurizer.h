@@ -8,9 +8,9 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/sync.h"
 #include "text/document.h"
 #include "text/sparse_vector.h"
@@ -76,23 +76,25 @@ class Featurizer {
   Vocabulary* vocab() const { return vocab_; }
 
  private:
-  void CollectEntries(const Document& doc,
-                      std::vector<SparseVector::Entry>& entries) const;
-  SparseVector Finish(std::vector<SparseVector::Entry> entries) const;
+  SparseVector FeaturizeImpl(
+      const Document& doc,
+      const std::vector<std::string>* attribute_values) const;
 
   Vocabulary* vocab_;
   FeaturizerOptions options_;
   std::vector<float> idf_;
   float default_idf_ = 3.0f;
 
-  // (TokenId, TokenId) -> interned bigram feature id. Read-mostly after the
-  // warm pass; the shared mutex only serializes first-ever misses. The
+  // Packed (TokenId, TokenId) -> interned bigram feature id, in an
+  // open-addressing flat map whose splitmix64 mixer hashes the packed key
+  // directly (std::hash<uint64_t> is the identity on libstdc++ — a
+  // clustering hazard for open addressing). Read-mostly after the warm
+  // pass; the shared mutex only serializes first-ever misses. The
   // double-checked interning in BigramFeatureId needs no analysis escape:
   // the racy check runs under ReaderLock (shared suffices for reads) and
   // the recheck-and-insert under WriterLock.
   mutable SharedMutex bigram_mu_;
-  mutable std::unordered_map<uint64_t, uint32_t> bigram_ids_
-      GUARDED_BY(bigram_mu_);
+  mutable FlatHashMap<uint64_t, uint32_t> bigram_ids_ GUARDED_BY(bigram_mu_);
 };
 
 }  // namespace ie

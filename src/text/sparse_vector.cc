@@ -3,40 +3,46 @@
 #include <algorithm>
 #include <cmath>
 
+#include "text/sparse_kernels.h"
+
 namespace ie {
 
-SparseVector SparseVector::FromUnsorted(std::vector<Entry> entries) {
-  std::sort(entries.begin(), entries.end(),
+SparseVector SparseVector::FromEntrySpan(Entry* data, size_t n) {
+  std::sort(data, data + n,
             [](const Entry& a, const Entry& b) { return a.first < b.first; });
   SparseVector out;
-  out.entries_.reserve(entries.size());
-  for (const Entry& e : entries) {
-    if (!out.entries_.empty() && out.entries_.back().first == e.first) {
-      out.entries_.back().second += e.second;
-    } else {
-      out.entries_.push_back(e);
+  out.ids_.reserve(n);
+  out.vals_.reserve(n);
+  // Fold duplicates (summed in sorted-array order) and drop exact zeros —
+  // the same semantics as the historical AoS FromUnsorted.
+  for (size_t i = 0; i < n;) {
+    const uint32_t id = data[i].first;
+    float value = data[i].second;
+    for (++i; i < n && data[i].first == id; ++i) value += data[i].second;
+    if (value != 0.0f) {
+      out.ids_.push_back(id);
+      out.vals_.push_back(value);
     }
   }
-  // Drop exact zeros (possible after duplicate summation).
-  out.entries_.erase(
-      std::remove_if(out.entries_.begin(), out.entries_.end(),
-                     [](const Entry& e) { return e.second == 0.0f; }),
-      out.entries_.end());
   return out;
 }
 
+SparseVector SparseVector::FromUnsorted(std::vector<Entry> entries) {
+  return FromEntrySpan(entries.data(), entries.size());
+}
+
 float SparseVector::Get(uint32_t id) const {
-  auto it = std::lower_bound(
-      entries_.begin(), entries_.end(), id,
-      [](const Entry& e, uint32_t key) { return e.first < key; });
-  if (it != entries_.end() && it->first == id) return it->second;
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) {
+    return vals_[static_cast<size_t>(it - ids_.begin())];
+  }
   return 0.0f;
 }
 
 double SparseVector::L2NormSquared() const {
   double s = 0.0;
-  for (const Entry& e : entries_) {
-    const double v = static_cast<double>(e.second);
+  for (const float value : vals_) {
+    const double v = static_cast<double>(value);
     s += v * v;
   }
   return s;
@@ -46,12 +52,12 @@ double SparseVector::L2Norm() const { return std::sqrt(L2NormSquared()); }
 
 double SparseVector::L1Norm() const {
   double s = 0.0;
-  for (const Entry& e : entries_) s += std::fabs(static_cast<double>(e.second));
+  for (const float value : vals_) s += std::fabs(static_cast<double>(value));
   return s;
 }
 
 void SparseVector::Scale(float factor) {
-  for (Entry& e : entries_) e.second *= factor;
+  for (float& value : vals_) value *= factor;
 }
 
 void SparseVector::Normalize() {
@@ -60,39 +66,13 @@ void SparseVector::Normalize() {
 }
 
 double Dot(const SparseVector& a, const SparseVector& b) {
-  double s = 0.0;
-  auto ia = a.begin();
-  auto ib = b.begin();
-  while (ia != a.end() && ib != b.end()) {
-    if (ia->first < ib->first) {
-      ++ia;
-    } else if (ib->first < ia->first) {
-      ++ib;
-    } else {
-      s += static_cast<double>(ia->second) * static_cast<double>(ib->second);
-      ++ia;
-      ++ib;
-    }
-  }
-  return s;
+  return kernels::SparseSparseDot(a.ids(), a.values(), a.size(), b.ids(),
+                                  b.values(), b.size());
 }
 
 double DeltaDot(const WeightDelta& delta, const SparseVector& x) {
-  double s = 0.0;
-  auto id_ = delta.entries.begin();
-  auto ix = x.begin();
-  while (id_ != delta.entries.end() && ix != x.end()) {
-    if (id_->first < ix->first) {
-      ++id_;
-    } else if (ix->first < id_->first) {
-      ++ix;
-    } else {
-      s += id_->second * static_cast<double>(ix->second);
-      ++id_;
-      ++ix;
-    }
-  }
-  return s;
+  return kernels::SparseDeltaDot(delta.ids.data(), delta.values.data(),
+                                 delta.size(), x.ids(), x.values(), x.size());
 }
 
 double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
@@ -103,10 +83,9 @@ double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
 }
 
 void WeightVector::AddScaled(const SparseVector& x, double factor) {
-  if (!x.empty()) EnsureSize(x.DimensionBound());
-  for (const auto& [id, value] : x) {
-    w_[id] += factor * static_cast<double>(value);
-  }
+  if (x.empty()) return;
+  EnsureSize(x.DimensionBound());
+  kernels::Axpy(w_.data(), factor, x.ids(), x.values(), x.size());
 }
 
 void WeightVector::Scale(double factor) {
@@ -114,39 +93,19 @@ void WeightVector::Scale(double factor) {
 }
 
 double WeightVector::Dot(const SparseVector& x) const {
-  double s = 0.0;
-  for (const auto& [id, value] : x) {
-    if (id < w_.size()) s += w_[id] * static_cast<double>(value);
-  }
-  return s;
+  return kernels::GatherDot(w_.data(), w_.size(), x.ids(), x.values(),
+                            x.size());
 }
 
 double WeightVector::SignMass(const SparseVector& x) const {
-  double s = 0.0;
-  for (const auto& [id, value] : x) {
-    if (id >= w_.size() || w_[id] == 0.0) continue;
-    const double sign = w_[id] > 0.0 ? 1.0 : -1.0;
-    s += sign * static_cast<double>(value);
-  }
-  return s;
+  return kernels::GatherSignMass(w_.data(), w_.size(), x.ids(), x.values(),
+                                 x.size());
 }
 
 void WeightVector::DotAndSignMass(const SparseVector& x, double* dot,
                                   double* sign_mass) const {
-  // Single walk over x; each accumulator sees the exact operation sequence
-  // of its standalone counterpart, so the results are bitwise identical to
-  // Dot(x) / SignMass(x) — the incremental re-rank engine depends on that.
-  double m = 0.0;
-  double z = 0.0;
-  for (const auto& [id, value] : x) {
-    if (id >= w_.size()) continue;
-    const double w = w_[id];
-    m += w * static_cast<double>(value);
-    if (w == 0.0) continue;
-    z += (w > 0.0 ? 1.0 : -1.0) * static_cast<double>(value);
-  }
-  *dot = m;
-  *sign_mass = z;
+  kernels::GatherDotAndSignMass(w_.data(), w_.size(), x.ids(), x.values(),
+                                x.size(), dot, sign_mass);
 }
 
 double WeightVector::L2NormSquared() const {
@@ -199,7 +158,7 @@ WeightDelta WeightVector::DeltaFrom(const WeightVector& prev) const {
     const double now_i = i < w_.size() ? w_[i] : 0.0;
     const double prev_i = i < prev.w_.size() ? prev.w_[i] : 0.0;
     if (now_i != prev_i) {
-      delta.entries.emplace_back(static_cast<uint32_t>(i), now_i - prev_i);
+      delta.Add(static_cast<uint32_t>(i), now_i - prev_i);
     }
   }
   return delta;

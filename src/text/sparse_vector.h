@@ -1,31 +1,95 @@
 // Sparse feature vectors. Documents are featurized once into an immutable,
 // index-sorted SparseVector; learned models keep a dense, growable
 // WeightVector (the feature space expands as extraction progresses).
+//
+// SparseVector uses a structure-of-arrays layout (DESIGN.md §14): one
+// contiguous sorted uint32 id array plus a parallel float value array.
+// The scoring kernels (sparse_kernels.h) stream the id array a cache line
+// at a time; iteration stays source-compatible through a proxy iterator
+// that materializes (id, value) pairs on the fly.
 #pragma once
 
-#include <cstdint>
 #include <cstddef>
+#include <cstdint>
+#include <iterator>
 #include <utility>
 #include <vector>
 
 namespace ie {
 
-/// Immutable-ish sparse vector: (feature id, value) pairs sorted by id.
+/// Immutable-ish sparse vector: parallel (feature id, value) arrays sorted
+/// by id.
 class SparseVector {
  public:
   using Entry = std::pair<uint32_t, float>;
 
+  /// Proxy iterator yielding Entry pairs by value, so range-for loops and
+  /// structured bindings over a SparseVector look exactly like iteration
+  /// over the old vector<Entry> layout.
+  class ConstIterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = Entry;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Entry*;
+    using reference = Entry;
+
+    ConstIterator(const uint32_t* id, const float* value)
+        : id_(id), value_(value) {}
+
+    Entry operator*() const { return {*id_, *value_}; }
+
+    // Arrow proxy so `it->first` keeps working on the by-value Entry.
+    struct ArrowProxy {
+      Entry entry;
+      const Entry* operator->() const { return &entry; }
+    };
+    ArrowProxy operator->() const { return {{*id_, *value_}}; }
+
+    ConstIterator& operator++() {
+      ++id_;
+      ++value_;
+      return *this;
+    }
+    bool operator==(const ConstIterator& other) const {
+      return id_ == other.id_;
+    }
+    bool operator!=(const ConstIterator& other) const {
+      return id_ != other.id_;
+    }
+
+   private:
+    const uint32_t* id_;
+    const float* value_;
+  };
+
   SparseVector() = default;
+
   /// Builds from possibly unsorted, possibly duplicated entries; duplicates
   /// are summed, zero values dropped.
   static SparseVector FromUnsorted(std::vector<Entry> entries);
 
-  const std::vector<Entry>& entries() const { return entries_; }
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  /// Same semantics over caller-owned (e.g. arena) storage, which is used
+  /// as sort scratch. The per-document featurization hot path builds its
+  /// staging array in an Arena and finishes through this overload.
+  static SparseVector FromEntrySpan(Entry* data, size_t n);
 
-  auto begin() const { return entries_.begin(); }
-  auto end() const { return entries_.end(); }
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+
+  /// SoA accessors for the kernels (sparse_kernels.h).
+  const uint32_t* ids() const { return ids_.data(); }
+  const float* values() const { return vals_.data(); }
+  uint32_t id(size_t i) const { return ids_[i]; }
+  float value(size_t i) const { return vals_[i]; }
+
+  ConstIterator begin() const {
+    return ConstIterator(ids_.data(), vals_.data());
+  }
+  ConstIterator end() const {
+    return ConstIterator(ids_.data() + ids_.size(),
+                         vals_.data() + vals_.size());
+  }
 
   /// Value at feature id (0 if absent). O(log n).
   float Get(uint32_t id) const;
@@ -36,7 +100,7 @@ class SparseVector {
 
   /// Largest feature id + 1; 0 when empty.
   uint32_t DimensionBound() const {
-    return entries_.empty() ? 0 : entries_.back().first + 1;
+    return ids_.empty() ? 0 : ids_.back() + 1;
   }
 
   /// Scales all values in place.
@@ -46,7 +110,8 @@ class SparseVector {
   void Normalize();
 
  private:
-  std::vector<Entry> entries_;
+  std::vector<uint32_t> ids_;
+  std::vector<float> vals_;
 };
 
 /// Dot product of two sorted sparse vectors. O(n + m).
@@ -56,12 +121,19 @@ double Dot(const SparseVector& a, const SparseVector& b);
 double CosineSimilarity(const SparseVector& a, const SparseVector& b);
 
 /// Sparse double-precision weight change between two model snapshots:
-/// (feature id, w_now - w_prev) sorted by id, changed features only.
+/// parallel (feature id, w_now - w_prev) arrays sorted by id, changed
+/// features only — the same SoA shape as SparseVector so the delta-dot
+/// kernel streams both sides.
 struct WeightDelta {
-  std::vector<std::pair<uint32_t, double>> entries;
+  std::vector<uint32_t> ids;
+  std::vector<double> values;
 
-  bool empty() const { return entries.empty(); }
-  size_t size() const { return entries.size(); }
+  void Add(uint32_t id, double value) {
+    ids.push_back(id);
+    values.push_back(value);
+  }
+  bool empty() const { return ids.empty(); }
+  size_t size() const { return ids.size(); }
 };
 
 /// Δw · x over the delta's support. O(|delta| + |x|) sorted merge,
@@ -98,7 +170,7 @@ class WeightVector {
   /// keeping an external scale; this is the eager version).
   void Scale(double factor);
 
-  /// Dot product with a sparse vector.
+  /// Dot product with a sparse vector (gather kernel over the id array).
   double Dot(const SparseVector& x) const;
 
   double L2NormSquared() const;

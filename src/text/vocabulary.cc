@@ -3,17 +3,20 @@
 namespace ie {
 
 uint32_t Vocabulary::Intern(std::string_view term) {
-  auto it = index_.find(term);
-  if (it != index_.end()) return it->second;
+  const uint64_t hash = HashBytes(term);
+  const uint32_t found = index_.Find(
+      hash, [&](uint32_t id) { return terms_[id] == term; });
+  if (found != FlatIdIndex::kNotFound) return found;
   const uint32_t id = static_cast<uint32_t>(terms_.size());
   terms_.emplace_back(term);
-  index_.emplace(terms_.back(), id);
+  index_.Insert(hash, id);
   return id;
 }
 
 uint32_t Vocabulary::Lookup(std::string_view term) const {
-  auto it = index_.find(term);
-  return it == index_.end() ? kInvalidId : it->second;
+  const uint32_t found = index_.Find(
+      HashBytes(term), [&](uint32_t id) { return terms_[id] == term; });
+  return found == FlatIdIndex::kNotFound ? kInvalidId : found;
 }
 
 }  // namespace ie

@@ -2,13 +2,19 @@
 // to dense uint32 ids. A single Vocabulary is shared across the corpus, the
 // featurizer, and the learners, so the feature space can grow while ids
 // remain stable.
+//
+// The index is an open-addressing FlatIdIndex (common/flat_hash.h): slots
+// hold {term hash, id} and equality resolves against terms_, so each term
+// string is stored exactly once. Ids are assigned in insertion order and
+// never depend on the hash function.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
+
+#include "common/flat_hash.h"
 
 namespace ie {
 
@@ -32,21 +38,7 @@ class Vocabulary {
   size_t size() const { return terms_.size(); }
 
  private:
-  // Transparent hashing so lookups take string_view without allocating.
-  struct Hash {
-    using is_transparent = void;
-    size_t operator()(std::string_view s) const {
-      return std::hash<std::string_view>{}(s);
-    }
-  };
-  struct Eq {
-    using is_transparent = void;
-    bool operator()(std::string_view a, std::string_view b) const {
-      return a == b;
-    }
-  };
-
-  std::unordered_map<std::string, uint32_t, Hash, Eq> index_;
+  FlatIdIndex index_;
   std::vector<std::string> terms_;
 };
 

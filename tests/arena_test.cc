@@ -1,0 +1,108 @@
+// Arena bump-allocator tests (common/arena.h): alignment, chunk growth,
+// Reset() reuse without freeing, and the featurizer-style
+// allocate/fill/reset cycle the hot path depends on.
+#include "common/arena.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ie {
+namespace {
+
+bool IsAligned(const void* p, size_t align) {
+  return (reinterpret_cast<uintptr_t>(p) & (align - 1)) == 0;
+}
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  auto* a = arena.AllocateArray<uint8_t>(3);
+  auto* b = arena.AllocateArray<uint64_t>(4);
+  auto* c = arena.AllocateArray<float>(5);
+  EXPECT_TRUE(IsAligned(b, alignof(uint64_t)));
+  EXPECT_TRUE(IsAligned(c, alignof(float)));
+  // Fill every region, then verify none clobbered another.
+  std::memset(a, 0xaa, 3);
+  for (int i = 0; i < 4; ++i) b[i] = 0x0101010101010101ULL * (i + 1);
+  for (int i = 0; i < 5; ++i) c[i] = static_cast<float>(i);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(a[i], 0xaa);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(b[i], 0x0101010101010101ULL * (i + 1));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(c[i], static_cast<float>(i));
+}
+
+TEST(ArenaTest, GrowsBeyondFirstChunk) {
+  Arena arena(256);  // small first chunk to force growth
+  std::vector<uint32_t*> blocks;
+  for (int i = 0; i < 64; ++i) {
+    uint32_t* p = arena.AllocateArray<uint32_t>(32);  // 128 bytes each
+    for (int j = 0; j < 32; ++j) p[j] = static_cast<uint32_t>(i * 100 + j);
+    blocks.push_back(p);
+  }
+  EXPECT_GT(arena.chunk_count(), 1u);
+  EXPECT_GE(arena.TotalCapacity(), 64u * 128u);
+  // Growth must not have moved or corrupted earlier blocks.
+  for (int i = 0; i < 64; ++i) {
+    for (int j = 0; j < 32; ++j) {
+      ASSERT_EQ(blocks[i][j], static_cast<uint32_t>(i * 100 + j));
+    }
+  }
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedChunk) {
+  Arena arena(64);
+  uint8_t* big = arena.AllocateArray<uint8_t>(100000);
+  std::memset(big, 0x5a, 100000);
+  EXPECT_EQ(big[0], 0x5a);
+  EXPECT_EQ(big[99999], 0x5a);
+  EXPECT_GE(arena.TotalCapacity(), 100000u);
+}
+
+TEST(ArenaTest, ResetRecyclesWithoutGrowing) {
+  Arena arena(256);
+  // Warm to steady state.
+  for (int doc = 0; doc < 4; ++doc) {
+    arena.Reset();
+    arena.AllocateArray<uint64_t>(200);
+    arena.AllocateArray<float>(300);
+  }
+  const size_t warm_capacity = arena.TotalCapacity();
+  const size_t warm_chunks = arena.chunk_count();
+  // The same per-"document" workload must never allocate again.
+  for (int doc = 0; doc < 100; ++doc) {
+    arena.Reset();
+    uint64_t* keys = arena.AllocateArray<uint64_t>(200);
+    float* counts = arena.AllocateArray<float>(300);
+    keys[0] = doc;
+    counts[0] = static_cast<float>(doc);
+    EXPECT_EQ(keys[0], static_cast<uint64_t>(doc));
+  }
+  EXPECT_EQ(arena.TotalCapacity(), warm_capacity);
+  EXPECT_EQ(arena.chunk_count(), warm_chunks);
+}
+
+TEST(ArenaTest, ResetOnEmptyArenaIsSafe) {
+  Arena arena;
+  arena.Reset();
+  EXPECT_EQ(arena.chunk_count(), 0u);
+  uint32_t* p = arena.AllocateArray<uint32_t>(8);
+  p[7] = 42;
+  EXPECT_EQ(p[7], 42u);
+}
+
+TEST(ArenaTest, ResetReusesChunksInOrder) {
+  Arena arena(128);
+  arena.AllocateArray<uint8_t>(100);
+  arena.AllocateArray<uint8_t>(200);  // second chunk
+  const size_t chunks = arena.chunk_count();
+  ASSERT_GE(chunks, 2u);
+  arena.Reset();
+  // Same allocation sequence walks the same chunks — no new ones.
+  arena.AllocateArray<uint8_t>(100);
+  arena.AllocateArray<uint8_t>(200);
+  EXPECT_EQ(arena.chunk_count(), chunks);
+}
+
+}  // namespace
+}  // namespace ie

@@ -1,0 +1,20 @@
+// Violation: slot-order visitation of an ie::FlatHashMap via .ForEach()
+// without an order-insensitivity waiver — open-addressing slot order is
+// as nondeterministic as unordered_map bucket order (it depends on the
+// hash mix, capacity, and insertion history).
+// Expected: unordered-iteration
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_hash.h"
+
+ie::FlatHashMap<uint32_t, float> counts;
+
+std::vector<uint32_t> Keys() {
+  std::vector<uint32_t> out;
+  counts.ForEach([&out](uint32_t key, float value) {
+    (void)value;
+    out.push_back(key);  // emitted in slot order
+  });
+  return out;
+}

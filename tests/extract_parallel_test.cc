@@ -209,10 +209,8 @@ void ExpectExample(const LabeledExample& example, DocId doc) {
   EXPECT_EQ(example.label, expected.label);
   ASSERT_EQ(example.features.size(), expected.features.size());
   for (size_t i = 0; i < expected.features.size(); ++i) {
-    EXPECT_EQ(example.features.entries()[i].first,
-              expected.features.entries()[i].first);
-    EXPECT_EQ(example.features.entries()[i].second,
-              expected.features.entries()[i].second);
+    EXPECT_EQ(example.features.id(i), expected.features.id(i));
+    EXPECT_EQ(example.features.value(i), expected.features.value(i));
   }
 }
 
@@ -473,8 +471,8 @@ TEST(ExtractParallelTest, ParallelFeaturizePoolMatchesSerial) {
   for (size_t i = 0; i < serial.size(); ++i) {
     ASSERT_EQ(serial[i].size(), parallel[i].size()) << "doc " << i;
     for (size_t j = 0; j < serial[i].size(); ++j) {
-      ASSERT_EQ(serial[i].entries()[j].first, parallel[i].entries()[j].first);
-      ASSERT_EQ(serial[i].entries()[j].second, parallel[i].entries()[j].second);
+      ASSERT_EQ(serial[i].id(j), parallel[i].id(j));
+      ASSERT_EQ(serial[i].value(j), parallel[i].value(j));
     }
   }
 }

@@ -1,0 +1,288 @@
+// Bit-exactness tests for the SoA sparse kernels (text/sparse_kernels.h):
+// every kernel must be bitwise identical to a naive scalar reference, since
+// the golden-hash determinism matrix pins scores derived from them. The
+// references here deliberately mirror the pre-SoA implementations: per-entry
+// bounds checks, branchy "skip zero weight" sign mass, no unrolling.
+#include "text/sparse_kernels.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "text/sparse_vector.h"
+
+namespace ie {
+namespace {
+
+uint64_t Bits(double x) {
+  uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+// ---- scalar references (the old AoS per-entry code) ----
+
+double RefDot(const double* w, size_t dim, const uint32_t* ids,
+              const float* vals, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (ids[i] < dim) s += w[ids[i]] * static_cast<double>(vals[i]);
+  }
+  return s;
+}
+
+double RefSignMass(const double* w, size_t dim, const uint32_t* ids,
+                   const float* vals, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (ids[i] >= dim) continue;
+    const double weight = w[ids[i]];
+    if (weight > 0.0) {
+      s += static_cast<double>(vals[i]);
+    } else if (weight < 0.0) {
+      s -= static_cast<double>(vals[i]);
+    }
+  }
+  return s;
+}
+
+void RefAxpy(double* w, double factor, const uint32_t* ids, const float* vals,
+             size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    w[ids[i]] += factor * static_cast<double>(vals[i]);
+  }
+}
+
+// Random sorted unique ids in [0, id_bound) with values that include
+// negatives, exact zeros, and subnormal-scale magnitudes.
+struct RandomSparse {
+  std::vector<uint32_t> ids;
+  std::vector<float> vals;
+};
+
+RandomSparse MakeSparse(Rng& rng, size_t n, uint32_t id_bound) {
+  RandomSparse s;
+  uint32_t next = 0;
+  for (size_t i = 0; i < n && next < id_bound; ++i) {
+    next += static_cast<uint32_t>(rng.NextBounded(id_bound / (n + 1) + 2));
+    if (next >= id_bound) break;
+    s.ids.push_back(next);
+    float v = static_cast<float>(rng.NextDouble(-2.0, 2.0));
+    if (rng.NextBool(0.05)) v = 0.0f;
+    s.vals.push_back(v);
+    ++next;
+  }
+  return s;
+}
+
+std::vector<double> MakeWeights(Rng& rng, size_t dim) {
+  std::vector<double> w(dim);
+  for (auto& x : w) {
+    x = rng.NextDouble(-1.0, 1.0);
+    if (rng.NextBool(0.2)) x = 0.0;   // exercise the sign(0) path
+    if (rng.NextBool(0.02)) x = -0.0; // and the -0.0 weight path
+  }
+  return w;
+}
+
+TEST(SparseKernelTest, BoundedPrefixMatchesPerEntryCheck) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto s = MakeSparse(rng, 1 + rng.NextBounded(64), 500);
+    const size_t dim = rng.NextBounded(600);
+    size_t expected = 0;
+    for (size_t i = 0; i < s.ids.size(); ++i) {
+      if (s.ids[i] < dim) ++expected;
+    }
+    // Sorted ids: in-range entries are exactly a prefix.
+    EXPECT_EQ(kernels::BoundedPrefix(s.ids.data(), s.ids.size(), dim),
+              expected);
+  }
+  EXPECT_EQ(kernels::BoundedPrefix(nullptr, 0, 10), 0u);
+}
+
+TEST(SparseKernelTest, GatherDotBitParityRandomized) {
+  Rng rng(2);
+  for (int trial = 0; trial < 300; ++trial) {
+    // Lengths cover empty, single, and unaligned (n % 4 != 0) shapes.
+    const size_t n = rng.NextBounded(67);
+    const auto s = MakeSparse(rng, n, 1000);
+    const size_t dim = 1 + rng.NextBounded(1200);  // some ids beyond dim
+    const auto w = MakeWeights(rng, dim);
+    const double got =
+        kernels::GatherDot(w.data(), dim, s.ids.data(), s.vals.data(),
+                           s.ids.size());
+    const double want =
+        RefDot(w.data(), dim, s.ids.data(), s.vals.data(), s.ids.size());
+    EXPECT_EQ(Bits(got), Bits(want)) << "trial " << trial;
+  }
+}
+
+TEST(SparseKernelTest, GatherSignMassBitParityRandomized) {
+  Rng rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t n = rng.NextBounded(67);
+    const auto s = MakeSparse(rng, n, 1000);
+    const size_t dim = 1 + rng.NextBounded(1200);
+    const auto w = MakeWeights(rng, dim);
+    const double got = kernels::GatherSignMass(w.data(), dim, s.ids.data(),
+                                               s.vals.data(), s.ids.size());
+    const double want = RefSignMass(w.data(), dim, s.ids.data(),
+                                    s.vals.data(), s.ids.size());
+    EXPECT_EQ(Bits(got), Bits(want)) << "trial " << trial;
+  }
+}
+
+TEST(SparseKernelTest, FusedKernelMatchesStandaloneKernelsBitwise) {
+  Rng rng(4);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t n = rng.NextBounded(67);
+    const auto s = MakeSparse(rng, n, 1000);
+    const size_t dim = 1 + rng.NextBounded(1200);
+    const auto w = MakeWeights(rng, dim);
+    double dot = -1.0;
+    double sign_mass = -1.0;
+    kernels::GatherDotAndSignMass(w.data(), dim, s.ids.data(), s.vals.data(),
+                                  s.ids.size(), &dot, &sign_mass);
+    EXPECT_EQ(Bits(dot), Bits(kernels::GatherDot(w.data(), dim, s.ids.data(),
+                                                 s.vals.data(),
+                                                 s.ids.size())));
+    EXPECT_EQ(Bits(sign_mass),
+              Bits(kernels::GatherSignMass(w.data(), dim, s.ids.data(),
+                                           s.vals.data(), s.ids.size())));
+  }
+}
+
+TEST(SparseKernelTest, AxpyBitParityRandomized) {
+  Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t n = rng.NextBounded(67);
+    const auto s = MakeSparse(rng, n, 800);
+    const auto base = MakeWeights(rng, 800);
+    const double factor = rng.NextDouble(-3.0, 3.0);
+    auto got = base;
+    auto want = base;
+    kernels::Axpy(got.data(), factor, s.ids.data(), s.vals.data(),
+                  s.ids.size());
+    RefAxpy(want.data(), factor, s.ids.data(), s.vals.data(), s.ids.size());
+    for (size_t i = 0; i < base.size(); ++i) {
+      ASSERT_EQ(Bits(got[i]), Bits(want[i])) << "trial " << trial << " i=" << i;
+    }
+  }
+}
+
+TEST(SparseKernelTest, SparseSparseDotBitParityRandomized) {
+  Rng rng(6);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto a = MakeSparse(rng, rng.NextBounded(67), 400);
+    const auto b = MakeSparse(rng, rng.NextBounded(67), 400);
+    // Reference: hash-free quadratic match in a's order (ids unique &
+    // sorted, so match order equals ascending id order — same as the merge).
+    double want = 0.0;
+    for (size_t i = 0; i < a.ids.size(); ++i) {
+      for (size_t j = 0; j < b.ids.size(); ++j) {
+        if (a.ids[i] == b.ids[j]) {
+          want += static_cast<double>(a.vals[i]) *
+                  static_cast<double>(b.vals[j]);
+        }
+      }
+    }
+    const double got =
+        kernels::SparseSparseDot(a.ids.data(), a.vals.data(), a.ids.size(),
+                                 b.ids.data(), b.vals.data(), b.ids.size());
+    EXPECT_EQ(Bits(got), Bits(want)) << "trial " << trial;
+  }
+}
+
+TEST(SparseKernelTest, SparseDeltaDotBitParityRandomized) {
+  Rng rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto x = MakeSparse(rng, rng.NextBounded(67), 400);
+    const auto d = MakeSparse(rng, rng.NextBounded(67), 400);
+    std::vector<double> d_vals(d.vals.begin(), d.vals.end());
+    for (auto& v : d_vals) v *= 1.7;  // give the delta non-float doubles
+    double want = 0.0;
+    for (size_t i = 0; i < d.ids.size(); ++i) {
+      for (size_t j = 0; j < x.ids.size(); ++j) {
+        if (d.ids[i] == x.ids[j]) {
+          want += d_vals[i] * static_cast<double>(x.vals[j]);
+        }
+      }
+    }
+    const double got =
+        kernels::SparseDeltaDot(d.ids.data(), d_vals.data(), d.ids.size(),
+                                x.ids.data(), x.vals.data(), x.ids.size());
+    EXPECT_EQ(Bits(got), Bits(want)) << "trial " << trial;
+  }
+}
+
+TEST(SparseKernelTest, EdgeShapesEmptySingleUnaligned) {
+  const std::vector<double> w = {0.5, -1.0, 0.0, 2.0, -0.0};
+  // Empty.
+  EXPECT_EQ(kernels::GatherDot(w.data(), w.size(), nullptr, nullptr, 0), 0.0);
+  EXPECT_EQ(kernels::GatherSignMass(w.data(), w.size(), nullptr, nullptr, 0),
+            0.0);
+  // Single entry.
+  const uint32_t one_id[] = {1};
+  const float one_val[] = {3.0f};
+  EXPECT_EQ(kernels::GatherDot(w.data(), w.size(), one_id, one_val, 1), -3.0);
+  EXPECT_EQ(kernels::GatherSignMass(w.data(), w.size(), one_id, one_val, 1),
+            -3.0);
+  // Unaligned lengths n = 1..7 against the reference.
+  const uint32_t ids[] = {0, 1, 2, 3, 4, 5, 6};
+  const float vals[] = {1.f, 2.f, 3.f, 4.f, 5.f, 6.f, 7.f};
+  for (size_t n = 1; n <= 7; ++n) {
+    EXPECT_EQ(Bits(kernels::GatherDot(w.data(), w.size(), ids, vals, n)),
+              Bits(RefDot(w.data(), w.size(), ids, vals, n)))
+        << n;
+    EXPECT_EQ(Bits(kernels::GatherSignMass(w.data(), w.size(), ids, vals, n)),
+              Bits(RefSignMass(w.data(), w.size(), ids, vals, n)))
+        << n;
+  }
+}
+
+TEST(SparseKernelTest, SignOfNegativeZeroWeightContributesNothing) {
+  // A -0.0 weight must behave exactly like +0.0 under the branchy
+  // reference (skip), i.e. contribute ±0.0 that cannot flip the
+  // accumulator's sign bit.
+  const std::vector<double> w = {-0.0, 1.0};
+  const uint32_t ids[] = {0, 1};
+  const float vals[] = {5.0f, 2.0f};
+  const double got = kernels::GatherSignMass(w.data(), w.size(), ids, vals, 2);
+  EXPECT_EQ(Bits(got), Bits(2.0));
+}
+
+// End-to-end through SparseVector/WeightVector (the production entry
+// points) on randomized data — guards the wiring, not just the kernels.
+TEST(SparseKernelTest, WeightVectorRoutesThroughKernelsConsistently) {
+  Rng rng(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = MakeSparse(rng, 1 + rng.NextBounded(40), 300);
+    std::vector<SparseVector::Entry> entries;
+    for (size_t i = 0; i < s.ids.size(); ++i) {
+      entries.push_back({s.ids[i], s.vals[i]});
+    }
+    const SparseVector x = SparseVector::FromUnsorted(std::move(entries));
+    WeightVector weights;
+    const auto delta_src = MakeSparse(rng, 1 + rng.NextBounded(40), 300);
+    const SparseVector g = [&] {
+      std::vector<SparseVector::Entry> e;
+      for (size_t i = 0; i < delta_src.ids.size(); ++i) {
+        e.push_back({delta_src.ids[i], delta_src.vals[i]});
+      }
+      return SparseVector::FromUnsorted(std::move(e));
+    }();
+    weights.AddScaled(g, 0.25);
+    const double dot = weights.Dot(x);
+    double want = 0.0;
+    for (const auto& [id, value] : x) {
+      want += weights.Get(id) * static_cast<double>(value);
+    }
+    EXPECT_EQ(Bits(dot), Bits(want)) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace ie

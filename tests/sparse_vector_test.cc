@@ -16,9 +16,9 @@ SparseVector Make(std::vector<SparseVector::Entry> entries) {
 TEST(SparseVectorTest, FromUnsortedSortsById) {
   const SparseVector v = Make({{5, 1.0f}, {1, 2.0f}, {3, 3.0f}});
   ASSERT_EQ(v.size(), 3u);
-  EXPECT_EQ(v.entries()[0].first, 1u);
-  EXPECT_EQ(v.entries()[1].first, 3u);
-  EXPECT_EQ(v.entries()[2].first, 5u);
+  EXPECT_EQ(v.id(0), 1u);
+  EXPECT_EQ(v.id(1), 3u);
+  EXPECT_EQ(v.id(2), 5u);
 }
 
 TEST(SparseVectorTest, FromUnsortedSumsDuplicates) {
@@ -223,12 +223,12 @@ TEST(WeightVectorTest, DeltaFromListsChangedFeaturesOnly) {
   now.Set(8, -1.0);   // new: included
   const WeightDelta delta = now.DeltaFrom(prev);
   ASSERT_EQ(delta.size(), 3u);
-  EXPECT_EQ(delta.entries[0].first, 2u);
-  EXPECT_DOUBLE_EQ(delta.entries[0].second, 0.5);
-  EXPECT_EQ(delta.entries[1].first, 5u);
-  EXPECT_DOUBLE_EQ(delta.entries[1].second, 0.25);
-  EXPECT_EQ(delta.entries[2].first, 8u);
-  EXPECT_DOUBLE_EQ(delta.entries[2].second, -1.0);
+  EXPECT_EQ(delta.ids[0], 2u);
+  EXPECT_DOUBLE_EQ(delta.values[0], 0.5);
+  EXPECT_EQ(delta.ids[1], 5u);
+  EXPECT_DOUBLE_EQ(delta.values[1], 0.25);
+  EXPECT_EQ(delta.ids[2], 8u);
+  EXPECT_DOUBLE_EQ(delta.values[2], -1.0);
 }
 
 TEST(WeightVectorTest, DeltaDotMatchesFullDotDifference) {

@@ -57,6 +57,13 @@ step "bench_rerank smoke (incremental re-rank engine)"
 IE_BENCH_DOCS=4000 ./build-default/bench/bench_rerank \
     --benchmark_min_time=1x --benchmark_filter='/(1|8)$'
 
+step "bench_rerank perf trajectory (SoA kernels + arena featurizer)"
+# Hand-timed production-vs-reference comparisons (DESIGN.md §14): re-proves
+# bitwise-identical outputs and enforces the >=1.5x gates on the
+# rerank-update and featurize paths, at smoke scale.
+IE_BENCH_DOCS=4000 ./build-default/bench/bench_rerank \
+    --out=build-default/BENCH_rerank.json --reps=3
+
 step "bench_extract smoke (speculative extraction executor + tracing)"
 # Serial + 2-thread live-extraction runs on a small corpus: proves the
 # executor engages (hit counters) and output stays byte-identical. The
@@ -83,6 +90,14 @@ if not data["byte_identical"]:
 ratio = data["tiers"][0]["compression_ratio"]
 print("compression_ratio = %.2fx" % ratio)
 EOF
+
+step "bench trend vs committed trajectory (tools/bench_trend.py)"
+# The smoke runs above left fresh BENCH_*.json under build-default/.
+# Hard invariants (byte_identical, no gate FAIL) always apply; the >15%
+# regression rule on gated ratio metrics engages when a fresh run matches
+# the committed baseline's scale (see DESIGN.md §14 for the refresh
+# protocol).
+python3 tools/bench_trend.py --fresh build-default
 
 step "detlint over the index/scale layer (src rules, bench included)"
 # The new scale-path files must satisfy the src/-scoped determinism rules

@@ -25,13 +25,14 @@ Style / hygiene rules:
 Determinism rules (DESIGN.md §12) — the static side of the byte-identical
 output guarantee:
 
-  unordered-iteration  no range-for / .begin() iteration over
-                       std::unordered_map/set in src/ outside the facade
-                       src/common/ordered.h. Iterate via ie::ForEachSorted
-                       / SortedKeys / SortedItems, or waive the site with
-                       `// DETERMINISM: order-insensitive (<reason>)` on
-                       the same or preceding line — the reason is
-                       mandatory.
+  unordered-iteration  no range-for / .begin() / .ForEach() iteration
+                       over std::unordered_map/set or ie::FlatHashMap in
+                       src/ outside the facades src/common/ordered.h and
+                       src/common/flat_hash.h. Iterate via
+                       ie::ForEachSorted / SortedKeys / SortedItems, or
+                       waive the site with `// DETERMINISM:
+                       order-insensitive (<reason>)` on the same or
+                       preceding line — the reason is mandatory.
   pointer-key          no pointer-keyed maps/sets and no std::hash over
                        pointer types in src/ — addresses differ run to
                        run, so anything ordered or iterated by them is
@@ -74,7 +75,8 @@ DEFAULT_PATHS = ("src", "tests", "bench", "examples")
 # construct may appear.
 RAW_RANDOM_ALLOWED = ("src/common/rng.h", "src/common/rng.cc")
 RAW_MUTEX_ALLOWED = ("src/common/sync.h",)
-UNORDERED_ITERATION_ALLOWED = ("src/common/ordered.h",)
+UNORDERED_ITERATION_ALLOWED = ("src/common/ordered.h",
+                               "src/common/flat_hash.h")
 
 NOLINT_RE = re.compile(r"//\s*NOLINT\(ie-([a-z-]+)\)")
 # Determinism waiver: reason is mandatory and must be non-empty — a bare
@@ -206,15 +208,19 @@ def _blank_template_args(text):
     return "".join(out)
 
 
-_UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set)\s*<")
+# FlatHashMap (src/common/flat_hash.h) exposes slot-order iteration via
+# ForEach(); slot order is as nondeterministic as unordered_map bucket
+# order, so its declarations are tracked by the same rule.
+_UNORDERED_DECL_RE = re.compile(r"\b(?:unordered_(?:map|set)|FlatHashMap)\s*<")
 _IDENT_RE = re.compile(r"[A-Za-z_]\w*")
 
 
 def collect_unordered_names(code):
     """Identifiers declared (anywhere in `code`) with a type mentioning
-    std::unordered_map/set: variables, members, parameters, and functions
-    returning one. Used by the unordered-iteration rule to recognize
-    iteration sites without a real type system."""
+    std::unordered_map/set or ie::FlatHashMap: variables, members,
+    parameters, and functions returning one. Used by the
+    unordered-iteration rule to recognize iteration sites without a real
+    type system."""
     names = set()
     # Statement-ish granularity: declarations end at ; = { or (.
     for statement in re.split(r"[;{}]", code):
@@ -428,11 +434,12 @@ class UnorderedIterationRule(Rule):
                         if i in names), None)
             if hit is not None:
                 findings.append((ctx.line_of_offset(m.start()), hit))
-        # Explicit iterator access: name.begin() / name.cbegin() — covers
-        # iterator loops, algorithm calls, and iterator-pair construction.
+        # Explicit iteration entry points: name.begin() / name.cbegin()
+        # (iterator loops, algorithm calls, iterator-pair construction)
+        # and name.ForEach( — FlatHashMap's slot-order visitor.
         begin_re = re.compile(
             r"\b(" + "|".join(re.escape(n) for n in sorted(names)) +
-            r")\s*\.\s*c?begin\s*\(")
+            r")\s*\.\s*(?:c?begin|ForEach)\s*\(")
         for m in begin_re.finditer(ctx.code):
             findings.append((ctx.line_of_offset(m.start()), m.group(1)))
         for line, name in sorted(set(findings)):
