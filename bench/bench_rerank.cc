@@ -33,13 +33,19 @@
 //                   clamped to the corpus test split)
 //
 //   bench_rerank [--out=BENCH_rerank.json] [--reps=7]
-//                [google-benchmark flags]
+//                [--metrics-out=metrics.prom] [google-benchmark flags]
+//
+// With --metrics-out, the process-wide metrics registry (counters and
+// latency histograms tallied by the engine hot paths during the run) is
+// rendered as Prometheus text exposition to the given path on exit
+// (validated by tools/report.py --validate-prom).
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 #include <cstring>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "harness.h"
 #include "pipeline/rerank_engine.h"
 #include "ranking/learned_rankers.h"
@@ -203,6 +209,7 @@ SparseVector RefFeaturize(
   }
   std::vector<SparseVector::Entry> entries;
   entries.reserve(counts.size());
+  // DETERMINISM: order-insensitive (FromUnsorted sorts entries by id).
   for (const auto& [id, tf] : counts) {
     entries.push_back({id, log_tf ? 1.0f + std::log(tf) : tf});
   }
@@ -487,6 +494,7 @@ int RunTrajectory(const std::string& out_path, int reps) {
 
 int main(int argc, char** argv) {
   std::string out_path;
+  std::string metrics_out_path;
   int reps = 7;
   // Strip trajectory flags before google-benchmark sees argv.
   int kept = 1;
@@ -496,6 +504,8 @@ int main(int argc, char** argv) {
       out_path = arg.substr(6);
     } else if (arg.rfind("--reps=", 0) == 0) {
       reps = std::max(1, std::atoi(arg.substr(7).c_str()));
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out_path = arg.substr(14);
     } else {
       argv[kept++] = argv[i];
     }
@@ -505,10 +515,27 @@ int main(int argc, char** argv) {
   Harness harness({RelationId::kPersonCharge}, NumDocs());
   g_harness = &harness;
   BuildPoolAndStream();
+  int status = 0;
   if (!out_path.empty()) {
-    return RunTrajectory(out_path, reps);
+    status = RunTrajectory(out_path, reps);
+  } else {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  // Prometheus exposition of everything the run tallied into the global
+  // registry (engine counters, kernel latency histograms with
+  // p50/p90/p99).
+  if (!metrics_out_path.empty()) {
+    std::FILE* prom = std::fopen(metrics_out_path.c_str(), "w");
+    if (prom == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out_path.c_str());
+      return 2;
+    }
+    const std::string text = MetricsRegistry::Global().RenderPrometheus();
+    std::fwrite(text.data(), 1, text.size(), prom);
+    std::fclose(prom);
+    std::fprintf(stderr, "[bench_rerank] metrics exposition -> %s\n",
+                 metrics_out_path.c_str());
+  }
+  return status;
 }

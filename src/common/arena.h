@@ -13,6 +13,7 @@
 //    thread.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -30,6 +31,11 @@ class Arena {
                                                   : first_chunk_bytes) {}
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+    process_reserved_bytes_().fetch_sub(TotalCapacity(),
+                                        std::memory_order_relaxed);
+  }
 
   /// Raw storage for `bytes` bytes at alignment `align` (a power of two).
   void* Allocate(size_t bytes, size_t align) {
@@ -72,6 +78,15 @@ class Arena {
 
   size_t chunk_count() const { return chunks_.size(); }
 
+  /// Bytes currently reserved by every live Arena in the process (the
+  /// thread_local featurizer arenas included). Grows on chunk allocation,
+  /// shrinks on arena destruction; Reset() does not release. The flight
+  /// recorder samples this once per iteration — chunk growth is rare
+  /// (doubling), so the relaxed counter costs nothing on the hot path.
+  static size_t ProcessReservedBytes() {
+    return process_reserved_bytes_().load(std::memory_order_relaxed);
+  }
+
  private:
   struct Chunk {
     std::unique_ptr<uint8_t[]> data;
@@ -93,6 +108,7 @@ class Arena {
                                   : chunks_.back().size * 2;
     if (size < need) size = need;
     chunks_.push_back(Chunk{std::make_unique<uint8_t[]>(size), size});
+    process_reserved_bytes_().fetch_add(size, std::memory_order_relaxed);
     chunk_index_ = chunks_.size() - 1;
     SetCurrent(chunk_index_);
   }
@@ -100,6 +116,11 @@ class Arena {
   void SetCurrent(size_t index) {
     ptr_ = reinterpret_cast<uintptr_t>(chunks_[index].data.get());
     end_ = ptr_ + chunks_[index].size;
+  }
+
+  static std::atomic<size_t>& process_reserved_bytes_() {
+    static std::atomic<size_t> bytes{0};
+    return bytes;
   }
 
   size_t first_chunk_bytes_;

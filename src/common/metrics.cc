@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <unordered_map>
 
@@ -159,6 +160,52 @@ const std::vector<double>& DefaultLatencyBounds() {
     return b;
   }();
   return bounds;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest rank: the k-th smallest sample, k = ceil(q·N), clamped to
+  // [1, N] (q = 0 still needs a sample to land on).
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  rank = std::clamp<uint64_t>(rank, 1, total);
+  uint64_t cum = 0;
+  size_t bucket = counts.size() - 1;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    cum += counts[b];
+    if (cum >= rank) {
+      bucket = b;
+      break;
+    }
+  }
+  // The bucket's value range. Its interior edges are bucket bounds; the
+  // outer edges (below the first bucket, above the last bound) are the
+  // exact extrema from the summary, which also clamp the estimate so it
+  // can never leave the rank's bucket.
+  const double exact_min = summary.min();
+  const double exact_max = summary.max();
+  const double lo = bucket == 0 ? exact_min : bounds[bucket - 1];
+  const double hi = bucket < bounds.size() ? bounds[bucket] : exact_max;
+  const uint64_t in_bucket = counts[bucket];
+  const uint64_t below = cum - in_bucket;
+  const double frac =
+      in_bucket == 0
+          ? 1.0
+          : static_cast<double>(rank - below) / static_cast<double>(in_bucket);
+  double value;
+  if (hi <= lo) {
+    value = hi;
+  } else if (lo > 0.0) {
+    // Log-linear within the bucket: the default bounds are a geometric
+    // (1-2-5) ladder, so this keeps relative (not absolute) resolution.
+    value = lo * std::exp(std::log(hi / lo) * frac);
+  } else {
+    value = lo + (hi - lo) * frac;
+  }
+  return std::clamp(value, exact_min, exact_max);
 }
 
 // ---- MetricsSnapshot ----------------------------------------------------
@@ -319,6 +366,12 @@ void MetricsSnapshot::AppendJson(std::string* out, int indent) const {
     AppendDouble(out, h.summary.min());
     *out += ", \"max\": ";
     AppendDouble(out, h.summary.max());
+    *out += ",\n" + pad3 + "\"p50\": ";
+    AppendDouble(out, h.P50());
+    *out += ", \"p90\": ";
+    AppendDouble(out, h.P90());
+    *out += ", \"p99\": ";
+    AppendDouble(out, h.P99());
     *out += ",\n" + pad3 + "\"buckets\": [";
     bool first_nonzero = true;
     for (size_t b = 0; b < h.counts.size(); ++b) {

@@ -70,6 +70,19 @@ struct HistogramSnapshot {
   RunningStats summary;
 
   uint64_t TotalCount() const { return summary.count(); }
+
+  /// Quantile estimate from the (shard-merged) bucket counts. The target
+  /// rank is the nearest-rank ceil(q·N); the estimate interpolates inside
+  /// the bucket holding that rank — log-linearly when the bucket's bounds
+  /// are both positive (these histograms are log-bucketed, so constant
+  /// relative error), linearly otherwise — and is clamped to the exact
+  /// [min, max] from the summary. The result always lands in the same
+  /// bucket as the exact sorted sample of that rank (tests compare the two
+  /// against full sorts). Returns 0 when empty; q is clamped to [0, 1].
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P90() const { return Quantile(0.90); }
+  double P99() const { return Quantile(0.99); }
 };
 
 /// Fixed-bucket histogram with lock-free per-thread shards. Each recording
@@ -135,10 +148,21 @@ struct MetricsSnapshot {
 
   /// Appends pretty-printed JSON:
   ///   {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
-  ///    mean, stddev, min, max, buckets: [{le, count}, ...]}}}
+  ///    mean, stddev, min, max, p50, p90, p99,
+  ///    buckets: [{le, count}, ...]}}}
   /// `indent` is the number of leading spaces on the opening brace's line.
   void AppendJson(std::string* out, int indent = 0) const;
   std::string ToJson(int indent = 0) const;
+
+  /// Appends Prometheus text exposition format (one `# TYPE` comment per
+  /// metric, then its samples): counters and gauges as single samples,
+  /// histograms as cumulative `_bucket{le=...}` series plus `_sum` /
+  /// `_count`, and `_p50`/`_p90`/`_p99` gauges from Quantile(). Metric
+  /// names are prefixed `ie_` with non-[a-zA-Z0-9_] characters mapped to
+  /// '_'. Validate with `tools/report.py --validate-prom`. Implemented in
+  /// metrics_export.cc (export-path float formatting discipline).
+  void AppendPrometheus(std::string* out) const;
+  std::string ToPrometheus() const;
 };
 
 /// Thread-safe named-instrument registry. Get* returns a stable reference
@@ -161,6 +185,10 @@ class MetricsRegistry {
                           std::vector<double> bounds = {}) EXCLUDES(mu_);
 
   MetricsSnapshot Snapshot() const EXCLUDES(mu_);
+
+  /// Snapshot() rendered as Prometheus text exposition (the scrape/export
+  /// surface of the registry; see MetricsSnapshot::AppendPrometheus).
+  std::string RenderPrometheus() const EXCLUDES(mu_);
 
  private:
   mutable Mutex mu_;

@@ -1,0 +1,128 @@
+// detlint: export-path — Prometheus text exposition for MetricsSnapshot /
+// MetricsRegistry. Machine-scraped output: every floating value goes
+// through AppendFormattedDouble (locale-independent, round-trip exact;
+// DESIGN.md §12), validated end-to-end by `tools/report.py
+// --validate-prom` in CI.
+//
+// Exposition shape (https://prometheus.io/docs/instrumenting/exposition_formats/):
+//   # TYPE ie_rerank_full_rescores counter
+//   ie_rerank_full_rescores 12
+//   # TYPE ie_pipeline_rank_seconds histogram
+//   ie_pipeline_rank_seconds_bucket{le="0.001"} 3     (cumulative)
+//   ie_pipeline_rank_seconds_bucket{le="+Inf"} 9
+//   ie_pipeline_rank_seconds_sum 0.42                 (mean · count)
+//   ie_pipeline_rank_seconds_count 9
+//   # TYPE ie_pipeline_rank_seconds_p50 gauge         (from Quantile())
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace ie {
+
+namespace {
+
+/// Registry names are "layer.event"; Prometheus metric names must match
+/// [a-zA-Z_:][a-zA-Z0-9_:]*. Map every other character to '_' and prefix
+/// "ie_" (which also rescues names starting with a digit).
+std::string PrometheusName(const std::string& name) {
+  std::string out = "ie_";
+  out.reserve(name.size() + 3);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendTypeLine(std::string* out, const std::string& name,
+                    const char* type) {
+  *out += "# TYPE ";
+  *out += name;
+  *out += ' ';
+  *out += type;
+  *out += '\n';
+}
+
+void AppendUintSample(std::string* out, const std::string& name,
+                      uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
+  *out += name;
+  *out += buf;
+}
+
+void AppendDoubleSample(std::string* out, const std::string& name,
+                        double value) {
+  *out += name;
+  *out += ' ';
+  AppendFormattedDouble(out, value);
+  *out += '\n';
+}
+
+void AppendQuantileGauge(std::string* out, const std::string& base,
+                         const char* suffix, double value) {
+  const std::string name = base + suffix;
+  AppendTypeLine(out, name, "gauge");
+  AppendDoubleSample(out, name, value);
+}
+
+}  // namespace
+
+void MetricsSnapshot::AppendPrometheus(std::string* out) const {
+  for (const auto& [name, value] : counters) {
+    const std::string pname = PrometheusName(name);
+    AppendTypeLine(out, pname, "counter");
+    AppendUintSample(out, pname, value);
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string pname = PrometheusName(name);
+    AppendTypeLine(out, pname, "gauge");
+    AppendDoubleSample(out, pname, value);
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    const std::string pname = PrometheusName(h.name);
+    AppendTypeLine(out, pname, "histogram");
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      // Zero-delta buckets below the top are elided (the default latency
+      // ladder is 22 buckets, mostly empty); cumulative counts keep the
+      // kept ones exact, and the mandatory +Inf bucket closes the series.
+      if (b + 1 < h.counts.size() && h.counts[b] == 0) continue;
+      *out += pname;
+      *out += "_bucket{le=\"";
+      if (b < h.bounds.size()) {
+        AppendFormattedDouble(out, h.bounds[b]);
+      } else {
+        *out += "+Inf";
+      }
+      *out += "\"}";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", cumulative);
+      *out += buf;
+    }
+    AppendDoubleSample(
+        out, pname + "_sum",
+        h.summary.mean() * static_cast<double>(h.summary.count()));
+    AppendUintSample(out, pname + "_count", h.summary.count());
+    AppendQuantileGauge(out, pname, "_p50", h.P50());
+    AppendQuantileGauge(out, pname, "_p90", h.P90());
+    AppendQuantileGauge(out, pname, "_p99", h.P99());
+  }
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  AppendPrometheus(&out);
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  return Snapshot().ToPrometheus();
+}
+
+}  // namespace ie

@@ -28,10 +28,24 @@ class RunningStats {
   /// Combines another accumulator into this one; the result is as if every
   /// sample of `other` had been Add()ed here (up to floating-point
   /// reassociation in mean/m2; min/max and count are exact).
+  ///
+  /// Empty-side contract (exercised by tests/flight_recorder_test.cc):
+  /// merging an empty `other` is an exact no-op — this side's extrema are
+  /// never widened by the empty side's sentinels — and merging into an
+  /// empty *this adopts `other`'s moments and extrema exactly, bit for
+  /// bit, rather than funnelling them through the pairwise update.
   void Merge(const RunningStats& other) {
     if (other.n_ == 0) return;
     if (n_ == 0) {
-      *this = other;
+      // Adopt every field explicitly: the pairwise algebra below would
+      // reproduce the moments, but min_/max_ must come from `other`
+      // directly (not from min/max against this side's ±inf sentinels,
+      // which a FromMoments round-trip is not guaranteed to preserve).
+      n_ = other.n_;
+      mean_ = other.mean_;
+      m2_ = other.m2_;
+      min_ = other.min_;
+      max_ = other.max_;
       return;
     }
     const double na = static_cast<double>(n_);
@@ -46,7 +60,13 @@ class RunningStats {
   }
 
   /// Rebuilds an accumulator from raw moments (the metrics layer stores
-  /// shard moments in atomics and reconstitutes them on snapshot).
+  /// shard moments in atomics and reconstitutes them on snapshot). With
+  /// n == 0 the min/max arguments are ignored entirely — the accumulator
+  /// keeps its empty-side sentinels so a later Merge stays exact. With
+  /// n > 0 the extrema are order-normalized: a histogram shard read
+  /// mid-update can transiently present min > max (its fields are
+  /// independent relaxed atomics), and propagating that inversion would
+  /// poison every downstream Merge's extrema.
   static RunningStats FromMoments(size_t n, double mean, double m2,
                                   double min, double max) {
     RunningStats stats;
@@ -54,8 +74,8 @@ class RunningStats {
     if (n > 0) {
       stats.mean_ = mean;
       stats.m2_ = std::max(m2, 0.0);
-      stats.min_ = min;
-      stats.max_ = max;
+      stats.min_ = std::min(min, max);
+      stats.max_ = std::max(min, max);
     }
     return stats;
   }

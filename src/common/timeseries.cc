@@ -1,0 +1,28 @@
+#include "common/timeseries.h"
+
+namespace ie {
+
+TimeSeries::TimeSeries(size_t capacity) : ring_(capacity) {}
+
+uint64_t TimeSeries::Append(double value) {
+  MutexLock lock(mu_);
+  return ring_.Append(
+      [value](uint64_t index) { return TimeSeriesSample{index, value}; });
+}
+
+std::vector<TimeSeriesSample> TimeSeries::Snapshot() const {
+  MutexLock lock(mu_);
+  return ring_.samples();
+}
+
+uint64_t TimeSeries::total_appended() const {
+  MutexLock lock(mu_);
+  return ring_.total_appended();
+}
+
+uint64_t TimeSeries::stride() const {
+  MutexLock lock(mu_);
+  return ring_.stride();
+}
+
+}  // namespace ie

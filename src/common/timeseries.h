@@ -1,0 +1,115 @@
+// TimeSeries — a bounded, thread-safe recorder for "value over iteration"
+// telemetry (the flight recorder's in-memory learning curves, DESIGN.md
+// §15). Appends are O(1) amortized; memory is a hard bound chosen at
+// construction. When the ring fills, resolution is halved instead of
+// evicting the oldest samples: the series keeps every sample whose index
+// is a multiple of the current stride, and on overflow the stride doubles
+// and every now-off-stride sample is compacted away. The retained set is
+// therefore a pure function of (capacity, total appends) — deterministic
+// regardless of timing — and always spans the full run, oldest to newest,
+// which is what a learning curve needs (an evicting ring would only show
+// the tail).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace ie {
+
+/// One retained sample: the 0-based append index and the recorded value.
+struct TimeSeriesSample {
+  uint64_t index = 0;
+  double value = 0.0;
+};
+
+/// Deterministic stride-doubling ring over arbitrary record types — the
+/// policy core shared by TimeSeries and the pipeline flight recorder
+/// (pipeline/recorder.h), which rings whole iteration records. Not
+/// thread-safe; single-writer callers embed it directly, concurrent
+/// callers go through TimeSeries.
+template <typename T>
+class SampledRing {
+ public:
+  /// `capacity` is the hard sample bound; values < 2 are clamped to 2 so
+  /// stride doubling always frees space.
+  explicit SampledRing(size_t capacity)
+      : capacity_(capacity < 2 ? 2 : capacity) {}
+
+  /// Offers the record at the next append index; retains it only when the
+  /// index is on the current stride. Returns the index assigned.
+  template <typename MakeRecord>
+  uint64_t Append(MakeRecord&& make) {
+    const uint64_t index = next_index_++;
+    if (index % stride_ != 0) return index;
+    if (samples_.size() == capacity_) Compact();
+    if (index % stride_ == 0) samples_.push_back(make(index));
+    return index;
+  }
+
+  const std::vector<T>& samples() const { return samples_; }
+  std::vector<T>&& TakeSamples() { return std::move(samples_); }
+  uint64_t total_appended() const { return next_index_; }
+  uint64_t stride() const { return stride_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  /// Doubles the stride and drops every retained sample that is no longer
+  /// on it. Retained indices are always multiples of the stride at the
+  /// time they were appended; doubling keeps exactly the even multiples,
+  /// so after compaction at most ceil(capacity / 2) samples remain.
+  void Compact() {
+    stride_ *= 2;
+    size_t kept = 0;
+    for (size_t i = 0; i < samples_.size(); ++i) {
+      if (IndexOf(samples_[i]) % stride_ == 0) {
+        if (kept != i) samples_[kept] = std::move(samples_[i]);
+        ++kept;
+      }
+    }
+    samples_.resize(kept);
+  }
+
+  static uint64_t IndexOf(const T& sample) { return sample.index; }
+
+  const size_t capacity_;
+  std::vector<T> samples_;
+  uint64_t next_index_ = 0;
+  uint64_t stride_ = 1;
+};
+
+/// Thread-safe named-value series: a SampledRing<TimeSeriesSample> behind
+/// a capability-annotated mutex. Appends assign indices under the lock, so
+/// the retained *structure* (which indices survive, the stride schedule)
+/// is deterministic for a given append count even with concurrent writers;
+/// with a single writer the whole series is deterministic.
+class TimeSeries {
+ public:
+  static constexpr size_t kDefaultCapacity = 512;
+
+  explicit TimeSeries(size_t capacity = kDefaultCapacity);
+
+  TimeSeries(const TimeSeries&) = delete;
+  TimeSeries& operator=(const TimeSeries&) = delete;
+
+  /// Records `value` at the next index; returns that index.
+  uint64_t Append(double value) EXCLUDES(mu_);
+
+  /// Copy of the retained samples, ascending by index.
+  std::vector<TimeSeriesSample> Snapshot() const EXCLUDES(mu_);
+
+  uint64_t total_appended() const EXCLUDES(mu_);
+
+  /// Current downsampling stride (1 until the first compaction).
+  uint64_t stride() const EXCLUDES(mu_);
+
+  size_t capacity() const { return ring_.capacity(); }
+
+ private:
+  mutable Mutex mu_;
+  SampledRing<TimeSeriesSample> ring_ GUARDED_BY(mu_);
+};
+
+}  // namespace ie

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
@@ -14,6 +15,7 @@
 #include "common/trace.h"
 #include "learn/feature_selection.h"
 #include "pipeline/extract_executor.h"
+#include "pipeline/recorder.h"
 #include "pipeline/rerank_engine.h"
 #include "ranking/learned_rankers.h"
 #include "ranking/query_learning.h"
@@ -46,6 +48,26 @@ const char* UpdateKindName(UpdateKind kind) {
       return "Top-K";
     case UpdateKind::kModC:
       return "Mod-C";
+  }
+  return "?";
+}
+
+const char* SamplerKindName(SamplerKind kind) {
+  switch (kind) {
+    case SamplerKind::kSRS:
+      return "SRS";
+    case SamplerKind::kCQS:
+      return "CQS";
+  }
+  return "?";
+}
+
+const char* AccessModeName(AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kFullAccess:
+      return "full";
+    case AccessMode::kSearchInterface:
+      return "search";
   }
   return "?";
 }
@@ -194,6 +216,21 @@ std::unordered_set<uint32_t> WeightSupport(const WeightVector& w) {
   return support;
 }
 
+/// Squared L2 distance between two dense weight vectors, padding the
+/// shorter with zeros (flight-recorder ‖Δw‖; id-ordered, deterministic).
+double WeightDeltaNormSquared(const WeightVector& a, const WeightVector& b) {
+  const std::vector<double>& av = a.raw();
+  const std::vector<double>& bv = b.raw();
+  const size_t n = std::max(av.size(), bv.size());
+  double sq = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d =
+        (i < bv.size() ? bv[i] : 0.0) - (i < av.size() ? av[i] : 0.0);
+    sq += d * d;
+  }
+  return sq;
+}
+
 /// The run proper. Kept separate from Run() so the ExtractExecutor (and its
 /// worker threads) are joined — via `executor`'s destructor at the end of
 /// this scope — before Run() exports the trace and snapshots the registry:
@@ -250,6 +287,74 @@ PipelineResult RunImpl(const PipelineContext& context,
       executor.speculative() ? std::max<size_t>(1, config.prefetch_window)
                              : 1;
 
+  // ---- Flight recorder (DESIGN.md §15) ---------------------------------
+  // Passive observer of the loop below: when active, every consumed
+  // document ends its iteration with one RecordIteration() sampling the
+  // detector, engine, executor, and arena. It never feeds back into
+  // control flow, so recorded and unrecorded runs are byte-identical
+  // (asserted by the golden-hash matrix, which runs recorder-on).
+  PipelineRecorder recorder([&config] {
+    PipelineRecorder::Options options;
+    options.ledger_path = config.ledger_path;
+    options.record_series = config.record_iterations;
+    options.series_capacity = config.iteration_series_capacity;
+    return options;
+  }());
+  if (recorder.active()) {
+    RecorderRunInfo info;
+    info.ranker = RankerKindName(config.ranker);
+    info.sampler = SamplerKindName(config.sampler);
+    info.update = UpdateKindName(config.update);
+    info.access = AccessModeName(config.access);
+    info.seed = config.seed;
+    info.pool_size = context.pool->size();
+    info.sample_size = std::min(config.sample_size, context.pool->size());
+    info.extract_threads = config.extract_threads;
+    info.scoring_threads = config.scoring_threads;
+    info.incremental_rerank = config.incremental_rerank;
+    recorder.BeginRun(info);
+  }
+  // Iteration context the record lambda reads; the loop phases fill these
+  // in as the run's collaborators come to life.
+  IterationPhase record_phase = IterationPhase::kWarmup;
+  const UpdateDetector* detector_raw = nullptr;
+  RerankEngine* engine_ptr = nullptr;
+  uint64_t recorded_useful = 0;
+  bool update_retrained = false;
+  double update_dw = 0.0;
+  std::vector<double> update_dw_c;
+  auto record_iteration = [&](DocId id, bool useful) {
+    if (!recorder.active()) return;
+    IterationRecord rec;
+    rec.doc = id;
+    rec.phase = record_phase;
+    rec.useful = useful;
+    recorded_useful += useful ? 1 : 0;
+    rec.useful_total = recorded_useful;
+    rec.useful_rate = static_cast<double>(recorded_useful) /
+                      static_cast<double>(recorder.iterations() + 1);
+    rec.detector_statistic =
+        detector_raw != nullptr ? detector_raw->LastStatistic() : 0.0;
+    rec.retrained = update_retrained;
+    rec.weight_delta_norm = update_dw;
+    rec.component_delta_norms = std::move(update_dw_c);
+    update_retrained = false;
+    update_dw = 0.0;
+    update_dw_c.clear();
+    if (engine_ptr != nullptr) {
+      rec.full_rescores = engine_ptr->stats().full_rescores;
+      rec.delta_rescores = engine_ptr->stats().delta_rescores;
+    }
+    const ExtractExecutorStats executor_stats = executor.stats();
+    rec.executor_hits = executor_stats.hits;
+    rec.executor_waits = executor_stats.waits;
+    rec.executor_misses = executor_stats.misses;
+    rec.executor_cancelled = executor_stats.cancelled;
+    rec.queue_depth = executor.queue_depth();
+    rec.arena_bytes = Arena::ProcessReservedBytes();
+    recorder.RecordIteration(std::move(rec));
+  };
+
   WallTimer extract_wall;
   std::unordered_set<DocId> processed;
   auto consume = [&](DocId id) -> LabeledExample {
@@ -262,7 +367,9 @@ PipelineResult RunImpl(const PipelineContext& context,
   };
   // Consumes `ids` front to back, keeping up to `window` documents
   // prefetched ahead of the cursor (used for the fixed-order phases:
-  // warmup sample and search-interface leftovers).
+  // warmup sample and search-interface leftovers). These phases have no
+  // detector/update step, so the iteration record is sampled right after
+  // the consume.
   auto consume_in_order = [&](const std::vector<DocId>& ids,
                               std::vector<LabeledExample>* out) {
     size_t next_prefetch = 0;
@@ -272,6 +379,7 @@ PipelineResult RunImpl(const PipelineContext& context,
         executor.Prefetch(ids[next_prefetch]);
       }
       LabeledExample example = consume(ids[i]);
+      record_iteration(ids[i], example.label > 0);
       if (out != nullptr) out->push_back(std::move(example));
     }
   };
@@ -301,6 +409,7 @@ PipelineResult RunImpl(const PipelineContext& context,
     consume_in_order(sample, &sample_examples);
   }
   result.warmup_documents = sample.size();
+  record_phase = IterationPhase::kMain;
 
   // ---- Ranking generation ----------------------------------------------
   std::unique_ptr<DocumentRanker> ranker =
@@ -313,6 +422,7 @@ PipelineResult RunImpl(const PipelineContext& context,
   }
   std::unique_ptr<UpdateDetector> detector =
       MakeDetector(config, context.pool->size(), rng.NextUint64());
+  detector_raw = detector.get();
   detector->OnModelUpdated(*ranker, sample_examples);
   std::unordered_set<uint32_t> prev_support =
       WeightSupport(ranker->ModelWeights());
@@ -323,7 +433,6 @@ PipelineResult RunImpl(const PipelineContext& context,
   // tie-break; later discoveries (search-interface refreshes) go straight
   // into the engine, which appends them to the same tie-break order.
   std::vector<DocId> remaining;
-  RerankEngine* engine_ptr = nullptr;
   // DETERMINISM: order-insensitive (set-to-set copy; only membership is
   // ever read from in_pool)
   std::unordered_set<DocId> in_pool(processed.begin(), processed.end());
@@ -480,8 +589,33 @@ PipelineResult RunImpl(const PipelineContext& context,
         }
       }
 
-      rerank();
+      // Exact per-component ‖Δw‖ across this update: the scoring
+      // snapshots change only inside Rerank() (SnapshotForScoring), so
+      // differencing them around the rerank captures exactly what the
+      // ranking order saw. Skipped entirely when the recorder is off.
+      if (recorder.active()) {
+        const size_t components = ranker->ScoreComponentCount();
+        std::vector<WeightVector> prev_snapshots;
+        prev_snapshots.reserve(components);
+        for (size_t c = 0; c < components; ++c) {
+          prev_snapshots.push_back(ranker->ComponentSnapshotWeights(c));
+        }
+        rerank();
+        update_retrained = true;
+        update_dw_c.resize(components);
+        double total_sq = 0.0;
+        for (size_t c = 0; c < components; ++c) {
+          const double sq = WeightDeltaNormSquared(
+              prev_snapshots[c], ranker->ComponentSnapshotWeights(c));
+          update_dw_c[c] = std::sqrt(sq);
+          total_sq += sq;
+        }
+        update_dw = std::sqrt(total_sq);
+      } else {
+        rerank();
+      }
     }
+    record_iteration(id, useful);
     fill_lookahead();
   }
 
@@ -494,6 +628,7 @@ PipelineResult RunImpl(const PipelineContext& context,
       if (processed.count(id) == 0) leftovers.push_back(id);
     }
     rng.Shuffle(leftovers);
+    record_phase = IterationPhase::kTail;
     consume_in_order(leftovers, nullptr);
   }
   result.extract_wall_seconds = extract_wall.ElapsedSeconds();
@@ -524,6 +659,21 @@ PipelineResult RunImpl(const PipelineContext& context,
                             peak_buffer_examples);
   result.metrics.SetCounter("pipeline.documents_processed",
                             result.processing_order.size());
+
+  if (recorder.active()) {
+    RecorderRunSummary summary;
+    summary.updates = result.update_positions.size();
+    summary.useful_total = recorded_useful;
+    summary.extraction_seconds = result.extraction_seconds;
+    summary.extract_cpu_seconds = result.extract_cpu_seconds;
+    summary.extract_wall_seconds = result.extract_wall_seconds;
+    summary.ranking_cpu_seconds = result.ranking_cpu_seconds;
+    summary.detector_cpu_seconds = result.detector_cpu_seconds;
+    recorder.EndRun(summary);
+  }
+#if IE_OBSERVABILITY
+  if (config.record_iterations) result.iterations = recorder.TakeSeries();
+#endif
 
   result.final_model_features = ranker->NonZeroFeatureCount();
   // Final model snapshot, id-sorted (ForEachNonZero walks the dense

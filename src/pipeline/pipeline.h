@@ -29,6 +29,8 @@ enum class AccessMode { kFullAccess, kSearchInterface };
 
 const char* RankerKindName(RankerKind kind);
 const char* UpdateKindName(UpdateKind kind);
+const char* SamplerKindName(SamplerKind kind);
+const char* AccessModeName(AccessMode mode);
 
 struct PipelineConfig {
   RankerKind ranker = RankerKind::kRSVMIE;
@@ -98,6 +100,21 @@ struct PipelineConfig {
   /// Per-thread trace-buffer capacity in events; spans beyond it are
   /// dropped whole (the export stays balanced) and counted.
   size_t trace_buffer_events = 1 << 16;
+
+  /// Flight recorder (DESIGN.md §15; pipeline/recorder.h). When non-empty,
+  /// every processed document appends one JSONL line to this path, flushed
+  /// per line — a crashed run's ledger stays parseable up to the crash.
+  /// Validate/render/diff with tools/report.py. No-op when
+  /// IE_OBSERVABILITY is compiled out.
+  std::string ledger_path;
+  /// Retain the per-iteration flight-recorder series in
+  /// PipelineResult::iterations (bounded, deterministic downsampling; see
+  /// common/timeseries.h). No-op — and the result member does not exist —
+  /// when IE_OBSERVABILITY is compiled out.
+  bool record_iterations = false;
+  /// Hard bound on retained in-memory iteration records; beyond it the
+  /// series halves its resolution (stride doubling) instead of evicting.
+  size_t iteration_series_capacity = 512;
 
   /// Builds a config with per-ranker detector defaults. Mod-C α keeps the
   /// paper's ordering (BAgg-IE above RSVM-IE; paper: 30° vs 5°) at

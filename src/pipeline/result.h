@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "pipeline/recorder.h"
 #include "text/document.h"
 
 namespace ie {
@@ -53,6 +54,16 @@ struct PipelineResult {
   /// engine/executor stats structs. Empty when
   /// PipelineConfig::metrics_enabled is false or IE_OBSERVABILITY is 0.
   MetricsSnapshot metrics;
+
+#if IE_OBSERVABILITY
+  /// Flight-recorder series (DESIGN.md §15): one IterationRecord per
+  /// processed document, deterministically downsampled to
+  /// PipelineConfig::iteration_series_capacity. Empty unless
+  /// PipelineConfig::record_iterations. The member is compiled out
+  /// entirely in obs-off builds — zero size cost; tests assert its absence
+  /// with a requires-expression.
+  std::vector<IterationRecord> iterations;
+#endif  // IE_OBSERVABILITY
 
   /// Re-rank engine telemetry (see RerankStats in pipeline/rerank_engine.h):
   /// full scoring passes, incremental delta passes, delta passes abandoned

@@ -107,6 +107,15 @@ class DocumentRanker {
     return {};
   }
 
+  /// Dense weights of component c as of the latest SnapshotForScoring()
+  /// (RSVM-IE: the single model; BAgg-IE: committee member c). The flight
+  /// recorder differences consecutive snapshots to report exact ‖Δw‖ per
+  /// component at each update. Empty for rankers without components.
+  virtual WeightVector ComponentSnapshotWeights(size_t c) const {
+    (void)c;
+    return {};
+  }
+
   /// Dense model weights for update detection / query refresh. Rankers
   /// without a weight vector return an empty vector.
   virtual WeightVector ModelWeights() const = 0;

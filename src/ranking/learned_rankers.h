@@ -55,6 +55,9 @@ class RsvmIeRanker : public DocumentRanker {
   FactoredWeightDelta ComponentSnapshotDelta(size_t) const override {
     return snapshot_delta_;
   }
+  WeightVector ComponentSnapshotWeights(size_t) const override {
+    return snapshot_;
+  }
   WeightVector ModelWeights() const override { return svm_.DenseWeights(); }
   std::unique_ptr<DocumentRanker> Clone() const override {
     return std::make_unique<RsvmIeRanker>(*this);
@@ -118,6 +121,9 @@ class BaggIeRanker : public DocumentRanker {
   bool HasSnapshotDelta() const override { return has_delta_; }
   FactoredWeightDelta ComponentSnapshotDelta(size_t c) const override {
     return snapshot_deltas_[c];
+  }
+  WeightVector ComponentSnapshotWeights(size_t c) const override {
+    return c < snapshots_.size() ? snapshots_[c] : WeightVector{};
   }
   WeightVector ModelWeights() const override {
     return committee_.MeanDenseWeights();

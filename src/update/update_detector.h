@@ -41,6 +41,12 @@ class UpdateDetector {
   virtual bool Observe(const SparseVector& features, bool useful,
                        const DocumentRanker& ranker) = 0;
 
+  /// The detector's scalar drift statistic as of the last Observe() — the
+  /// value compared against its trigger threshold (Top-K footrule, Mod-C
+  /// angle, Feat-S shift). The pipeline flight recorder samples this once
+  /// per iteration; detectors without a statistic report 0.
+  virtual double LastStatistic() const { return 0.0; }
+
   virtual std::string name() const = 0;
 };
 
@@ -100,6 +106,7 @@ class TopKDetector : public UpdateDetector {
 
   /// Last computed footrule distance (introspection for tests/benches).
   double last_distance() const { return last_distance_; }
+  double LastStatistic() const override { return last_distance_; }
 
  private:
   TopKOptions options_;
@@ -131,6 +138,7 @@ class ModCDetector : public UpdateDetector {
   std::string name() const override { return "Mod-C"; }
 
   double last_angle_degrees() const { return last_angle_; }
+  double LastStatistic() const override { return last_angle_; }
 
  private:
   ModCOptions options_;
@@ -170,6 +178,7 @@ class FeatSDetector : public UpdateDetector {
   std::string name() const override { return "Feat-S"; }
 
   double last_shift() const { return last_shift_; }
+  double LastStatistic() const override { return last_shift_; }
 
  private:
   FeatSOptions options_;

@@ -109,6 +109,9 @@ TEST_P(DeterminismGoldenTest, ByteStableAcrossThreadsAndPinned) {
   PipelineConfig config = PipelineConfig::Defaults(
       param.ranker, SamplerKind::kSRS, UpdateKind::kModC, param.seed);
   config.sample_size = 120;
+  // The flight recorder is a passive observer: running with it on must
+  // reproduce the pinned digests bit for bit (inert no-op in obs-off).
+  config.record_iterations = true;
 
   std::string first;
   for (size_t threads : {1u, 2u, 8u}) {

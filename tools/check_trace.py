@@ -16,8 +16,17 @@ Optionally asserts content with --require-span NAME (repeatable): the trace
 must contain at least one complete B/E pair with that name, and
 --require-counter NAME: at least one 'C' sample with that name.
 
+With --ledger LEDGER the trace is cross-checked against a flight-recorder
+run ledger (tools/report.py) from an identical configuration: the number
+of 'pipeline.update' spans must equal the ledger's retrain count, and the
+'executor.task' + 'executor.inline_task' span total must equal the
+ledger's iteration count (every consumed document was extracted exactly
+once somewhere). Both checks are skipped with a note when the trace
+reports dropped events — a truncated trace undercounts spans by design.
+
 Usage: tools/check_trace.py TRACE.json [TRACE2.json ...]
            [--require-span NAME]... [--require-counter NAME]...
+           [--ledger LEDGER.jsonl]
 Exit status: 0 valid, 1 findings, 2 usage/internal error.
 """
 
@@ -28,8 +37,14 @@ import sys
 ALLOWED_PHASES = {"B", "E", "I", "C"}
 
 
-def validate(path, require_spans, require_counters):
-    """Returns a list of finding strings for one trace file."""
+def validate(path, require_spans, require_counters, span_counts=None,
+             dropped_out=None):
+    """Returns a list of finding strings for one trace file.
+
+    When `span_counts` (a dict) is given, the count of complete B/E pairs
+    per span name is accumulated into it; `dropped_out` (a list) receives
+    the exporter's otherData.dropped_events value.
+    """
     findings = []
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -40,6 +55,10 @@ def validate(path, require_spans, require_counters):
     events = trace.get("traceEvents")
     if not isinstance(events, list):
         return ["%s: no top-level 'traceEvents' list" % path]
+    if dropped_out is not None:
+        other = trace.get("otherData")
+        dropped_out.append(other.get("dropped_events", 0)
+                           if isinstance(other, dict) else 0)
 
     open_spans = {}  # tid -> stack of open span names
     last_ts = {}  # tid -> last timestamp seen
@@ -91,6 +110,8 @@ def validate(path, require_spans, require_counters):
             else:
                 stack.pop()
                 complete_spans.add(name)
+                if span_counts is not None:
+                    span_counts[name] = span_counts.get(name, 0) + 1
         elif phase == "C":
             counters.add(name)
             args = ev.get("args")
@@ -114,6 +135,56 @@ def validate(path, require_spans, require_counters):
     return findings
 
 
+def read_ledger_counts(path):
+    """Returns (iterations, retrains) from a flight-recorder ledger, or a
+    finding string on parse failure. Counts iter lines directly, so a
+    truncated ledger (missing footer) still cross-checks."""
+    iterations = 0
+    retrains = 0
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # trailing partial line of a crashed run
+                if obj.get("type") == "iter":
+                    iterations += 1
+                    retrains += 1 if obj.get("retrain") else 0
+    except OSError as e:
+        return "%s: unreadable ledger: %s" % (path, e)
+    return iterations, retrains
+
+
+def cross_check_ledger(ledger_path, span_counts, dropped):
+    """Trace-vs-ledger consistency: spans that must match ledger counts."""
+    counts = read_ledger_counts(ledger_path)
+    if isinstance(counts, str):
+        return [counts]
+    iterations, retrains = counts
+    if dropped:
+        print("check_trace: trace dropped %d event(s); "
+              "skipping ledger count cross-check" % dropped)
+        return []
+    findings = []
+    updates = span_counts.get("pipeline.update", 0)
+    if updates != retrains:
+        findings.append(
+            "%s: %d 'pipeline.update' span(s) but ledger has %d "
+            "retrain(s)" % (ledger_path, updates, retrains))
+    extracted = span_counts.get("executor.task", 0) + \
+        span_counts.get("executor.inline_task", 0)
+    if extracted != iterations:
+        findings.append(
+            "%s: %d extraction span(s) (executor.task + "
+            "executor.inline_task) but ledger has %d iteration(s)" %
+            (ledger_path, extracted, iterations))
+    return findings
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         description="Validate Chrome-trace JSON emitted by ie::Tracer.")
@@ -124,12 +195,22 @@ def main(argv):
     parser.add_argument("--require-counter", action="append", default=[],
                         metavar="NAME",
                         help="require a 'C' sample with this name")
+    parser.add_argument("--ledger", metavar="LEDGER.jsonl",
+                        help="cross-check span counts against a "
+                             "flight-recorder run ledger")
     args = parser.parse_args(argv)
 
     findings = []
+    span_counts = {}
+    dropped_events = []
     for path in args.traces:
         findings.extend(
-            validate(path, args.require_span, args.require_counter))
+            validate(path, args.require_span, args.require_counter,
+                     span_counts, dropped_events))
+    if args.ledger:
+        findings.extend(
+            cross_check_ledger(args.ledger, span_counts,
+                               sum(dropped_events)))
     for finding in findings:
         print(finding, file=sys.stderr)
     if findings:

@@ -69,10 +69,14 @@ step "bench_extract smoke (speculative extraction executor + tracing)"
 # executor engages (hit counters) and output stays byte-identical. The
 # ≥2.5x @ 8-thread gate self-skips below 8 hardware threads. --trace adds
 # the observability smoke: traced 2-thread runs export a Chrome trace and
-# measure overhead against untraced runs (best-of-3 each).
+# measure overhead against untraced runs (best-of-3 each); --ledger does
+# the same for the flight recorder (serial runs, JSONL run ledger);
+# --metrics-out renders the serial run's Prometheus exposition.
 IE_BENCH_DOCS=4000 ./build-default/bench/bench_extract \
     --threads=1,2 --out=build-default/BENCH_extract.json \
-    --trace=build-default/trace_extract.json
+    --trace=build-default/trace_extract.json \
+    --ledger=build-default/ledger_extract.jsonl \
+    --metrics-out=build-default/metrics_extract.prom
 
 step "bench_index smoke (streaming corpus + compact index scale path)"
 # One small tier end-to-end: stream-generate to the on-disk corpus format,
@@ -106,6 +110,13 @@ step "detlint over the index/scale layer (src rules, bench included)"
 python3 tools/lint.py --treat-as-src src/index src/corpus/corpus_io.cc \
     bench/bench_index.cc
 
+step "detlint over the observability exporters (export-path discipline)"
+# The ledger writer and Prometheus renderer are machine-parsed export
+# paths: every float they emit must go through the Format*/AppendJson*
+# helpers (locale-independent, shortest round-trip).
+python3 tools/lint.py --treat-as-src src/common/metrics_export.cc \
+    src/pipeline/recorder.cc bench/bench_extract.cc bench/bench_rerank.cc
+
 step "trace validation (tools/check_trace.py)"
 # The exported trace must be well-formed, balanced, and monotonic, and
 # must actually cover the hot phases: pipeline rank/consume/update spans,
@@ -114,7 +125,25 @@ python3 tools/check_trace.py build-default/trace_extract.json \
     --require-span pipeline.run --require-span pipeline.sample \
     --require-span pipeline.warmup --require-span pipeline.rank \
     --require-span pipeline.update --require-span executor.task \
-    --require-counter executor.queue_depth
+    --require-counter executor.queue_depth \
+    --ledger build-default/ledger_extract.jsonl
+
+step "flight-recorder ledger validation (tools/report.py)"
+# The run ledger must satisfy the schema invariants (strict numbering,
+# monotone cumulative counters, executor identity, phase ordering, footer
+# consistency) — and so must a byte-truncated copy, proving the crash-safe
+# append-per-line property actually yields parseable partial files. The
+# Prometheus exposition round-trips its own validator, and the report/diff
+# renderers must run clean on real data.
+python3 tools/report.py --validate build-default/ledger_extract.jsonl
+head -c 2048 build-default/ledger_extract.jsonl \
+    > build-default/ledger_truncated.jsonl
+python3 tools/report.py --validate build-default/ledger_truncated.jsonl
+python3 tools/report.py --validate-prom build-default/metrics_extract.prom
+python3 tools/report.py --report build-default/ledger_extract.jsonl \
+    > /dev/null
+python3 tools/report.py --diff build-default/ledger_extract.jsonl \
+    build-default/ledger_truncated.jsonl > /dev/null
 
 step "tracing overhead smoke (<= 10%)"
 python3 - build-default/BENCH_extract.json <<'EOF'
@@ -123,6 +152,15 @@ ratio = json.load(open(sys.argv[1]))["trace_overhead_ratio"]
 print("trace_overhead_ratio = %.3f" % ratio)
 if ratio > 1.10:
     sys.exit("FAIL: traced run >10%% slower than untraced (%.3f)" % ratio)
+EOF
+
+step "flight-recorder overhead smoke (<= 3%)"
+python3 - build-default/BENCH_extract.json <<'EOF'
+import json, sys
+ratio = json.load(open(sys.argv[1]))["recorder_overhead_ratio"]
+print("recorder_overhead_ratio = %.3f" % ratio)
+if ratio > 1.03:
+    sys.exit("FAIL: recorded run >3%% slower than unrecorded (%.3f)" % ratio)
 EOF
 
 if [ "$MODE" = "quick" ]; then
