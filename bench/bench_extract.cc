@@ -1,6 +1,6 @@
 // Throughput bench for the speculative parallel extraction executor
 // (DESIGN.md §9): end-to-end adaptive runs with *live* per-document
-// extraction (PipelineContext::extraction_system) at several
+// extraction (SharedContext::extraction_system) at several
 // extract_threads settings, reporting docs/sec and speedup over the serial
 // run and re-proving byte-identical output along the way.
 //
@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
 
   const size_t num_docs = EnvSize("IE_BENCH_DOCS", 10000);
   Harness harness({RelationId::kPersonCharge}, num_docs);
-  PipelineContext context = harness.Context(RelationId::kPersonCharge);
+  SharedContext context = harness.Context(RelationId::kPersonCharge);
   // Live extraction: run the real IE system per document so the executor
   // parallelizes real CPU, not the simulated-cost replay.
   context.extraction_system =

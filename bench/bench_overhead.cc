@@ -20,7 +20,7 @@ void BuildStream() {
   const auto& pool = g_harness->test_pool();
   const auto& outcomes =
       g_harness->world().outcome(RelationId::kPersonCharge);
-  PipelineContext ctx = g_harness->Context(RelationId::kPersonCharge);
+  SharedContext ctx = g_harness->Context(RelationId::kPersonCharge);
   for (size_t i = 0; i < 3000 && i < pool.size(); ++i) {
     const DocId id = pool[i];
     g_stream.push_back(
@@ -100,7 +100,7 @@ void BM_Featurize(benchmark::State& state) {
 BENCHMARK(BM_Featurize);
 
 void BM_Bm25Search(benchmark::State& state) {
-  PipelineContext ctx = g_harness->Context(RelationId::kPersonCharge);
+  SharedContext ctx = g_harness->Context(RelationId::kPersonCharge);
   const char* queries[] = {"fraud", "courtroom", "trial", "prosecutor"};
   size_t i = 0;
   for (auto _ : state) {

@@ -66,7 +66,7 @@ void BuildPoolAndStream() {
       std::min(EnvSize("IE_BENCH_POOL", 10000), test_pool.size());
   g_pool.assign(test_pool.begin(), test_pool.begin() + pool_size);
   const auto& outcomes = g_harness->world().outcome(RelationId::kPersonCharge);
-  PipelineContext ctx = g_harness->Context(RelationId::kPersonCharge);
+  SharedContext ctx = g_harness->Context(RelationId::kPersonCharge);
   for (DocId id : g_pool) {
     g_stream.push_back(
         {(*ctx.word_features)[id], outcomes.useful(id) ? 1 : -1});
@@ -89,7 +89,7 @@ std::unique_ptr<Ranker> WarmedRanker() {
 // pipeline's post-warmup state.
 template <typename Ranker>
 void RunUpdateBench(benchmark::State& state, bool incremental) {
-  PipelineContext ctx = g_harness->Context(RelationId::kPersonCharge);
+  SharedContext ctx = g_harness->Context(RelationId::kPersonCharge);
   auto ranker = WarmedRanker<Ranker>();
   RerankOptions options;
   options.incremental = incremental;
@@ -250,7 +250,7 @@ double BestOfRepsSeconds(int reps, Fn&& fn) {
 }
 
 void RunKernelTrajectory(int reps, TrajectoryResult* out) {
-  PipelineContext ctx = g_harness->Context(RelationId::kPersonCharge);
+  SharedContext ctx = g_harness->Context(RelationId::kPersonCharge);
   auto ranker = WarmedRanker<RsvmIeRanker>();
   const WeightVector weights = ranker->ModelWeights();
   const std::vector<double>& w = weights.raw();
@@ -411,7 +411,7 @@ void RunUpdateTrajectory(int reps, TrajectoryResult* out) {
   // on the same pool, so the ratio is scale-invariant even though the
   // absolute times grow with IE_BENCH_POOL. Best of `reps` updates per
   // mode.
-  PipelineContext ctx = g_harness->Context(RelationId::kPersonCharge);
+  SharedContext ctx = g_harness->Context(RelationId::kPersonCharge);
   for (bool incremental : {false, true}) {
     auto ranker = WarmedRanker<RsvmIeRanker>();
     RerankOptions options;

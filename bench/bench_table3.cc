@@ -27,7 +27,7 @@ void BuildStream() {
   const RelationId relation = RelationId::kElectionWinner;
   const auto& pool = g_harness->test_pool();
   const auto& outcomes = g_harness->world().outcome(relation);
-  PipelineContext ctx = g_harness->Context(relation);
+  SharedContext ctx = g_harness->Context(relation);
   // The stream mirrors what the pipeline feeds detectors: word features
   // with the extractor's usefulness verdicts.
   std::vector<LabeledExample> sample;

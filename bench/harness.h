@@ -10,6 +10,7 @@
 
 #include "bench_common.h"
 #include "eval/experiment.h"
+#include "eval/metrics.h"
 #include "pipeline/factcrawl_pipeline.h"
 #include "pipeline/pipeline.h"
 #include "sampling/cqs_learning.h"
@@ -67,9 +68,9 @@ class Harness {
 
   /// Context over an arbitrary document pool (scalability experiments use
   /// prefixes of the test split). The pool vector must outlive the run.
-  PipelineContext SubsetContext(RelationId relation,
+  SharedContext SubsetContext(RelationId relation,
                                 const std::vector<DocId>* pool) {
-    PipelineContext context = Context(relation);
+    SharedContext context = Context(relation);
     context.pool = pool;
     return context;
   }
@@ -94,8 +95,8 @@ class Harness {
 
   /// Assembled pipeline context. When `cqs_list` >= 0, wires that learned
   /// query list (needed by CQS sampling and by FactCrawl).
-  PipelineContext Context(RelationId relation, int cqs_list = -1) {
-    PipelineContext context;
+  SharedContext Context(RelationId relation, int cqs_list = -1) {
+    SharedContext context;
     context.corpus = &world_.corpus;
     context.pool = &world_.corpus.splits().test;
     context.outcomes = &world_.outcome(relation);

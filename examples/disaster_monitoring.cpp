@@ -12,6 +12,7 @@
 
 #include "corpus/generator.h"
 #include "eval/experiment.h"
+#include "eval/metrics.h"
 #include "extract/extraction_system.h"
 #include "pipeline/pipeline.h"
 
@@ -45,7 +46,7 @@ int main() {
   const std::vector<SparseVector> word_features =
       FeaturizePool(corpus, featurizer);
 
-  PipelineContext context;
+  SharedContext context;
   context.corpus = &corpus;
   context.pool = &pool;
   context.outcomes = &outcomes;

@@ -11,6 +11,7 @@
 
 #include "corpus/generator.h"
 #include "eval/experiment.h"
+#include "eval/metrics.h"
 #include "extract/extraction_system.h"
 #include "pipeline/pipeline.h"
 
@@ -41,7 +42,7 @@ int main() {
   const std::vector<SparseVector> word_features =
       FeaturizePool(corpus, featurizer);
 
-  PipelineContext context;
+  SharedContext context;
   context.corpus = &corpus;
   context.pool = &pool;
   context.outcomes = &outcomes;

@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
       FeaturizePool(corpus, featurizer);
   const InvertedIndex index = BuildPoolIndex(corpus, pool);
 
-  PipelineContext context;
+  SharedContext context;
   context.corpus = &corpus;
   context.pool = &pool;
   context.outcomes = &outcomes;

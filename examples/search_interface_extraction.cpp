@@ -15,6 +15,7 @@
 #include "eval/experiment.h"
 #include "extract/extraction_system.h"
 #include "pipeline/pipeline.h"
+#include "sampling/sampler.h"
 #include "ranking/query_learning.h"
 
 using namespace ie;
@@ -53,7 +54,7 @@ int main() {
     std::printf("\n");
   }
 
-  PipelineContext context;
+  SharedContext context;
   context.corpus = &corpus;
   context.pool = &pool;
   context.outcomes = &outcomes;

@@ -69,6 +69,8 @@ class FlatHashMap {
     return nullptr;
   }
   V* Find(K key) {
+    // ARCH: const-escape (Meyers const/non-const overload dedup: *this is
+    // non-const here, so the cast only restores the caller's own access)
     return const_cast<V*>(static_cast<const FlatHashMap*>(this)->Find(key));
   }
 

@@ -289,6 +289,8 @@ struct CorpusReader::Rep {
 
   ~Rep() {
     if (data != nullptr) {
+      // ARCH: const-escape (munmap takes void* by API; the mapping is
+      // being torn down, so no reader can observe a mutation)
       ::munmap(const_cast<uint8_t*>(data), size);
     }
   }

@@ -5,7 +5,10 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/string_util.h"
+#include "corpus/lexicon.h"
+#include "corpus/topic_model.h"
 
 namespace ie {
 

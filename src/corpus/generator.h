@@ -12,10 +12,7 @@
 #include <functional>
 #include <memory>
 
-#include "common/rng.h"
 #include "corpus/corpus.h"
-#include "corpus/lexicon.h"
-#include "corpus/topic_model.h"
 
 namespace ie {
 

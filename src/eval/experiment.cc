@@ -3,6 +3,9 @@
 #include <cstddef>
 #include <cstdio>
 
+#include "common/stats.h"
+#include "eval/metrics.h"
+
 namespace ie {
 
 RunMetrics EvaluateRun(PipelineResult result, bool include_warmup) {

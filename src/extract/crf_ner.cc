@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "common/rng.h"
+
 namespace ie {
 
 namespace {

@@ -9,7 +9,6 @@
 #include <array>
 #include <vector>
 
-#include "common/rng.h"
 #include "extract/sequence_tagger.h"
 
 namespace ie {

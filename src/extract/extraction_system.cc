@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
-#include "common/logging.h"
 #include "common/parallel.h"
+#include "corpus/generator.h"
 #include "corpus/lexicon.h"
 #include "extract/crf_ner.h"
 #include "extract/hmm_ner.h"

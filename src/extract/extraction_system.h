@@ -11,7 +11,6 @@
 #include <vector>
 
 #include "corpus/corpus.h"
-#include "corpus/generator.h"
 #include "extract/ner.h"
 #include "extract/relation_extractor.h"
 #include "extract/tuple.h"

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/rng.h"
+
 namespace ie {
 
 namespace {

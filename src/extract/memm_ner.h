@@ -7,7 +7,6 @@
 
 #include <vector>
 
-#include "common/rng.h"
 #include "extract/sequence_tagger.h"
 
 namespace ie {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "common/rng.h"
 #include "common/string_util.h"
 
 namespace ie {

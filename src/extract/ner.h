@@ -12,7 +12,6 @@
 #include <unordered_set>
 #include <vector>
 
-#include "common/rng.h"
 #include "corpus/annotations.h"
 #include "corpus/relation.h"
 #include "text/document.h"

@@ -12,7 +12,6 @@
 
 #include "common/rng.h"
 #include "corpus/corpus.h"
-#include "extract/tuple.h"
 #include "learn/binary_svm.h"
 #include "text/document.h"
 

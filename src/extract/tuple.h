@@ -6,7 +6,6 @@
 
 #include <string>
 
-#include "corpus/annotations.h"
 #include "corpus/relation.h"
 
 namespace ie {

@@ -9,7 +9,7 @@
 
 namespace ie {
 
-PipelineResult FactCrawlPipeline::Run(const PipelineContext& context,
+PipelineResult FactCrawlPipeline::Run(const SharedContext& context,
                                       const FactCrawlConfig& config) {
   IE_CHECK(context.corpus != nullptr && context.pool != nullptr &&
            context.outcomes != nullptr && context.relation != nullptr &&

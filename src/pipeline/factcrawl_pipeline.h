@@ -28,7 +28,7 @@ struct FactCrawlConfig {
 
 class FactCrawlPipeline {
  public:
-  static PipelineResult Run(const PipelineContext& context,
+  static PipelineResult Run(const SharedContext& context,
                             const FactCrawlConfig& config);
 };
 

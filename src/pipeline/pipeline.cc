@@ -17,7 +17,7 @@
 #include "pipeline/extract_executor.h"
 #include "pipeline/recorder.h"
 #include "pipeline/rerank_engine.h"
-#include "ranking/learned_rankers.h"
+#include "pipeline/session.h"
 #include "ranking/query_learning.h"
 
 namespace ie {
@@ -171,40 +171,6 @@ CompactIndex BuildCompactPoolIndex(const Corpus& corpus,
 
 namespace {
 
-std::unique_ptr<DocumentRanker> MakeRanker(const PipelineConfig& config,
-                                           uint64_t seed) {
-  switch (config.ranker) {
-    case RankerKind::kRandom:
-      return std::make_unique<RandomRanker>(seed);
-    case RankerKind::kPerfect:
-      return std::make_unique<PerfectRanker>();
-    case RankerKind::kBAggIE:
-      return std::make_unique<BaggIeRanker>(config.bagg, seed);
-    case RankerKind::kRSVMIE:
-      return std::make_unique<RsvmIeRanker>(config.rsvm, seed);
-  }
-  return nullptr;
-}
-
-std::unique_ptr<UpdateDetector> MakeDetector(const PipelineConfig& config,
-                                             size_t pool_size,
-                                             uint64_t seed) {
-  switch (config.update) {
-    case UpdateKind::kNone:
-      return std::make_unique<NeverUpdateDetector>();
-    case UpdateKind::kWindF:
-      return std::make_unique<WindFDetector>(
-          std::max<size_t>(1, pool_size / config.windf_updates));
-    case UpdateKind::kFeatS:
-      return std::make_unique<FeatSDetector>(config.feats);
-    case UpdateKind::kTopK:
-      return std::make_unique<TopKDetector>(config.topk);
-    case UpdateKind::kModC:
-      return std::make_unique<ModCDetector>(config.modc, seed);
-  }
-  return nullptr;
-}
-
 /// Support set of a model's non-zero weights (feature-churn accounting).
 /// Iterates the stored non-zeros directly instead of issuing a
 /// bounds-checked Get per vocabulary id.
@@ -235,7 +201,7 @@ double WeightDeltaNormSquared(const WeightVector& a, const WeightVector& b) {
 /// worker threads) are joined — via `executor`'s destructor at the end of
 /// this scope — before Run() exports the trace and snapshots the registry:
 /// both reads then observe fully quiesced writers.
-PipelineResult RunImpl(const PipelineContext& context,
+PipelineResult RunImpl(const SharedContext& context,
                        const PipelineConfig& config) {
   IE_TRACE_SCOPE("pipeline.run");
   IE_CHECK(context.corpus != nullptr && context.pool != nullptr &&
@@ -243,6 +209,13 @@ PipelineResult RunImpl(const PipelineContext& context,
            context.featurizer != nullptr &&
            context.word_features != nullptr);
   Rng rng(config.seed);
+
+  // Every mutable collaborator of this run lives in one SessionState
+  // (pipeline/session.h). Slots are filled at exactly the points the
+  // pre-split code constructed the corresponding locals — the ranker and
+  // detector seeds come from rng draws, so construction order is part of
+  // the deterministic byte-identical contract.
+  SessionState session;
 
   PipelineResult result;
   result.pool_size = context.pool->size();
@@ -293,14 +266,14 @@ PipelineResult RunImpl(const PipelineContext& context,
   // detector, engine, executor, and arena. It never feeds back into
   // control flow, so recorded and unrecorded runs are byte-identical
   // (asserted by the golden-hash matrix, which runs recorder-on).
-  PipelineRecorder recorder([&config] {
+  session.recorder = std::make_unique<PipelineRecorder>([&config] {
     PipelineRecorder::Options options;
     options.ledger_path = config.ledger_path;
     options.record_series = config.record_iterations;
     options.series_capacity = config.iteration_series_capacity;
     return options;
   }());
-  if (recorder.active()) {
+  if (session.recorder->active()) {
     RecorderRunInfo info;
     info.ranker = RankerKindName(config.ranker);
     info.sampler = SamplerKindName(config.sampler);
@@ -312,7 +285,7 @@ PipelineResult RunImpl(const PipelineContext& context,
     info.extract_threads = config.extract_threads;
     info.scoring_threads = config.scoring_threads;
     info.incremental_rerank = config.incremental_rerank;
-    recorder.BeginRun(info);
+    session.recorder->BeginRun(info);
   }
   // Iteration context the record lambda reads; the loop phases fill these
   // in as the run's collaborators come to life.
@@ -324,7 +297,7 @@ PipelineResult RunImpl(const PipelineContext& context,
   double update_dw = 0.0;
   std::vector<double> update_dw_c;
   auto record_iteration = [&](DocId id, bool useful) {
-    if (!recorder.active()) return;
+    if (!session.recorder->active()) return;
     IterationRecord rec;
     rec.doc = id;
     rec.phase = record_phase;
@@ -332,7 +305,7 @@ PipelineResult RunImpl(const PipelineContext& context,
     recorded_useful += useful ? 1 : 0;
     rec.useful_total = recorded_useful;
     rec.useful_rate = static_cast<double>(recorded_useful) /
-                      static_cast<double>(recorder.iterations() + 1);
+                      static_cast<double>(session.recorder->iterations() + 1);
     rec.detector_statistic =
         detector_raw != nullptr ? detector_raw->LastStatistic() : 0.0;
     rec.retrained = update_retrained;
@@ -352,7 +325,7 @@ PipelineResult RunImpl(const PipelineContext& context,
     rec.executor_cancelled = executor_stats.cancelled;
     rec.queue_depth = executor.queue_depth();
     rec.arena_bytes = Arena::ProcessReservedBytes();
-    recorder.RecordIteration(std::move(rec));
+    session.recorder->RecordIteration(std::move(rec));
   };
 
   WallTimer extract_wall;
@@ -385,19 +358,11 @@ PipelineResult RunImpl(const PipelineContext& context,
   };
 
   // ---- Initial sample ------------------------------------------------
-  std::unique_ptr<Sampler> sampler;
-  if (config.sampler == SamplerKind::kCQS) {
-    IE_CHECK(context.index != nullptr && context.cqs_queries != nullptr);
-    sampler = std::make_unique<CqsSampler>(*context.cqs_queries,
-                                           context.index,
-                                           &context.corpus->vocab());
-  } else {
-    sampler = std::make_unique<SrsSampler>();
-  }
+  session.sampler = MakeSampler(context, config.sampler);
   std::vector<DocId> sample;
   {
     IE_TRACE_SCOPE("pipeline.sample");
-    sample = sampler->Sample(
+    sample = session.sampler->Sample(
         *context.pool, std::min(config.sample_size, context.pool->size()),
         &rng);
   }
@@ -412,20 +377,19 @@ PipelineResult RunImpl(const PipelineContext& context,
   record_phase = IterationPhase::kMain;
 
   // ---- Ranking generation ----------------------------------------------
-  std::unique_ptr<DocumentRanker> ranker =
-      MakeRanker(config, rng.NextUint64());
+  session.ranker = MakeRanker(config, rng.NextUint64());
   {
     IE_TRACE_SCOPE("pipeline.train_initial");
     CpuTimer timer;
-    ranker->TrainInitial(sample_examples);
+    session.ranker->TrainInitial(sample_examples);
     result.ranking_cpu_seconds += timer.ElapsedSeconds();
   }
-  std::unique_ptr<UpdateDetector> detector =
+  session.detector =
       MakeDetector(config, context.pool->size(), rng.NextUint64());
-  detector_raw = detector.get();
-  detector->OnModelUpdated(*ranker, sample_examples);
+  detector_raw = session.detector.get();
+  session.detector->OnModelUpdated(*session.ranker, sample_examples);
   std::unordered_set<uint32_t> prev_support =
-      WeightSupport(ranker->ModelWeights());
+      WeightSupport(session.ranker->ModelWeights());
 
   // ---- Candidate pool --------------------------------------------------
   // Candidates discovered before the engine exists (the initial pool) are
@@ -480,10 +444,11 @@ PipelineResult RunImpl(const PipelineContext& context,
       return context.outcomes->useful(id) ? 1.0 : 0.0;
     };
   }
-  RerankEngine engine(ranker.get(), context.word_features, rerank_options,
-                      std::move(score_override));
-  for (DocId id : remaining) engine.AddCandidate(id);
-  engine_ptr = &engine;
+  session.engine = std::make_unique<RerankEngine>(
+      session.ranker.get(), context.word_features, rerank_options,
+      std::move(score_override));
+  for (DocId id : remaining) session.engine->AddCandidate(id);
+  engine_ptr = session.engine.get();
 
   auto rerank = [&]() {
     IE_TRACE_SCOPE("pipeline.rank");
@@ -491,7 +456,7 @@ PipelineResult RunImpl(const PipelineContext& context,
     // to wall time for the overhead accounting in that configuration.
     CpuTimer cpu_timer;
     WallTimer wall_timer;
-    engine.Rerank();
+    session.engine->Rerank();
     const double seconds = config.scoring_threads > 1
                                ? wall_timer.ElapsedSeconds()
                                : cpu_timer.ElapsedSeconds();
@@ -512,7 +477,7 @@ PipelineResult RunImpl(const PipelineContext& context,
   std::deque<DocId> lookahead;
   auto fill_lookahead = [&]() {
     DocId next_doc = 0;
-    while (lookahead.size() < window && engine.PopNext(&next_doc)) {
+    while (lookahead.size() < window && session.engine->PopNext(&next_doc)) {
       executor.Prefetch(next_doc);
       lookahead.push_back(next_doc);
     }
@@ -528,7 +493,8 @@ PipelineResult RunImpl(const PipelineContext& context,
     bool triggered;
     {
       CpuTimer timer;
-      triggered = detector->Observe(example.features, useful, *ranker);
+      triggered = session.detector->Observe(example.features, useful,
+                                            *session.ranker);
       result.detector_cpu_seconds += timer.ElapsedSeconds();
     }
     // Non-adaptive runs never absorb the buffer; buffering there would
@@ -540,25 +506,25 @@ PipelineResult RunImpl(const PipelineContext& context,
 
     if (triggered && adaptive) {
       while (!lookahead.empty()) {
-        engine.Requeue(lookahead.back());
+        session.engine->Requeue(lookahead.back());
         lookahead.pop_back();
       }
       executor.CancelQueued();
     }
-    if (triggered && adaptive && engine.pending() > 0) {
+    if (triggered && adaptive && session.engine->pending() > 0) {
       IE_TRACE_SCOPE("pipeline.update");
       IE_METRIC_COUNT("pipeline.updates");
       {
         IE_TRACE_SCOPE("pipeline.retrain");
         CpuTimer timer;
         for (const LabeledExample& ex : buffer) {
-          ranker->Observe(ex.features, ex.label > 0);
+          session.ranker->Observe(ex.features, ex.label > 0);
         }
         result.ranking_cpu_seconds += timer.ElapsedSeconds();
       }
       // Feature churn between consecutive models.
       const std::unordered_set<uint32_t> support =
-          WeightSupport(ranker->ModelWeights());
+          WeightSupport(session.ranker->ModelWeights());
       size_t added = 0, removed = 0;
       // DETERMINISM: order-insensitive (integer membership counting)
       for (uint32_t f : support) added += prev_support.count(f) == 0;
@@ -568,14 +534,14 @@ PipelineResult RunImpl(const PipelineContext& context,
       result.features_removed_per_update.push_back(removed);
       prev_support = support;
 
-      detector->OnModelUpdated(*ranker, buffer);
+      session.detector->OnModelUpdated(*session.ranker, buffer);
       buffer.clear();
       result.update_positions.push_back(result.processing_order.size());
 
       // Search-interface scenario: turn the refreshed model's top features
       // into new queries and grow the candidate pool.
       if (config.access == AccessMode::kSearchInterface) {
-        const WeightVector weights = ranker->ModelWeights();
+        const WeightVector weights = session.ranker->ModelWeights();
         for (const WeightedFeature& f :
              TopKFeatures(weights, config.search_refresh_features)) {
           if (f.id >= context.corpus->vocab().size()) continue;
@@ -593,12 +559,12 @@ PipelineResult RunImpl(const PipelineContext& context,
       // snapshots change only inside Rerank() (SnapshotForScoring), so
       // differencing them around the rerank captures exactly what the
       // ranking order saw. Skipped entirely when the recorder is off.
-      if (recorder.active()) {
-        const size_t components = ranker->ScoreComponentCount();
+      if (session.recorder->active()) {
+        const size_t components = session.ranker->ScoreComponentCount();
         std::vector<WeightVector> prev_snapshots;
         prev_snapshots.reserve(components);
         for (size_t c = 0; c < components; ++c) {
-          prev_snapshots.push_back(ranker->ComponentSnapshotWeights(c));
+          prev_snapshots.push_back(session.ranker->ComponentSnapshotWeights(c));
         }
         rerank();
         update_retrained = true;
@@ -606,7 +572,7 @@ PipelineResult RunImpl(const PipelineContext& context,
         double total_sq = 0.0;
         for (size_t c = 0; c < components; ++c) {
           const double sq = WeightDeltaNormSquared(
-              prev_snapshots[c], ranker->ComponentSnapshotWeights(c));
+              prev_snapshots[c], session.ranker->ComponentSnapshotWeights(c));
           update_dw_c[c] = std::sqrt(sq);
           total_sq += sq;
         }
@@ -646,7 +612,7 @@ PipelineResult RunImpl(const PipelineContext& context,
   result.metrics.SetCounter("executor.misses", executor_stats.misses);
   result.metrics.SetCounter("executor.cancelled", executor_stats.cancelled);
 
-  const RerankStats& rerank_stats = engine.stats();
+  const RerankStats& rerank_stats = session.engine->stats();
   result.metrics.SetCounter("rerank.full_rescores",
                             rerank_stats.full_rescores);
   result.metrics.SetCounter("rerank.delta_rescores",
@@ -660,7 +626,7 @@ PipelineResult RunImpl(const PipelineContext& context,
   result.metrics.SetCounter("pipeline.documents_processed",
                             result.processing_order.size());
 
-  if (recorder.active()) {
+  if (session.recorder->active()) {
     RecorderRunSummary summary;
     summary.updates = result.update_positions.size();
     summary.useful_total = recorded_useful;
@@ -669,17 +635,17 @@ PipelineResult RunImpl(const PipelineContext& context,
     summary.extract_wall_seconds = result.extract_wall_seconds;
     summary.ranking_cpu_seconds = result.ranking_cpu_seconds;
     summary.detector_cpu_seconds = result.detector_cpu_seconds;
-    recorder.EndRun(summary);
+    session.recorder->EndRun(summary);
   }
 #if IE_OBSERVABILITY
-  if (config.record_iterations) result.iterations = recorder.TakeSeries();
+  if (config.record_iterations) result.iterations = session.recorder->TakeSeries();
 #endif
 
-  result.final_model_features = ranker->NonZeroFeatureCount();
+  result.final_model_features = session.ranker->NonZeroFeatureCount();
   // Final model snapshot, id-sorted (ForEachNonZero walks the dense
   // weight array in id order): the determinism golden test hashes this so
   // weight-level nondeterminism fails loudly, not just order-level.
-  ranker->ModelWeights().ForEachNonZero([&result](uint32_t id, double w) {
+  session.ranker->ModelWeights().ForEachNonZero([&result](uint32_t id, double w) {
     result.final_weights.emplace_back(id, w);
   });
   return result;
@@ -688,7 +654,7 @@ PipelineResult RunImpl(const PipelineContext& context,
 }  // namespace
 
 PipelineResult AdaptiveExtractionPipeline::Run(
-    const PipelineContext& context, const PipelineConfig& config) {
+    const SharedContext& context, const PipelineConfig& config) {
   // Trace/metrics sessions wrap RunImpl so that by the time we export the
   // trace and snapshot the registry, RunImpl's executor destructor has
   // joined every worker thread (quiesced writers; race-free reads).

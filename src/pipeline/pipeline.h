@@ -9,14 +9,13 @@
 #include <string>
 #include <vector>
 
+#include "common/arch.h"
 #include "corpus/corpus.h"
 #include "extract/extraction_system.h"
 #include "index/compact_index.h"
 #include "index/inverted_index.h"
 #include "pipeline/result.h"
-#include "ranking/document_ranker.h"
 #include "ranking/learned_rankers.h"
-#include "sampling/sampler.h"
 #include "text/featurizer.h"
 #include "update/update_detector.h"
 
@@ -123,13 +122,25 @@ struct PipelineConfig {
                                  UpdateKind update, uint64_t seed);
 };
 
-/// Immutable per-experiment inputs shared across seeds and configurations.
-struct PipelineContext {
+/// The shared-immutable half of the shared/session state split
+/// (DESIGN.md §16): per-experiment inputs that any number of concurrent
+/// sessions — seeds, configurations, and eventually the multi-tenant
+/// service's extraction sessions — read with no synchronization. Every
+/// member is a deep-const view; the `shared-immutable` lint rule
+/// cross-checks the IE_SHARED_IMMUTABLE marker, so a mutable member or a
+/// non-const pointer cannot slip in silently. All per-run mutable state
+/// lives in SessionState (pipeline/session.h).
+struct IE_SHARED_IMMUTABLE SharedContext {
   const Corpus* corpus = nullptr;
   const std::vector<DocId>* pool = nullptr;  // e.g. the test split
   const ExtractionOutcomes* outcomes = nullptr;
   const RelationSpec* relation = nullptr;
-  Featurizer* featurizer = nullptr;
+  /// Const facade over the featurizer: the featurization entry points
+  /// (Featurize, WarmBigrams, AttributeFeatureId, BigramFeatureId) are
+  /// const with a lock-guarded interning interior — the lone waived
+  /// const-escape behind this struct (see Featurizer::bigram_ids_).
+  /// Configure the featurizer (SetIdf) before sharing it.
+  const Featurizer* featurizer = nullptr;
   /// Word-feature vectors indexed by DocId (see FeaturizePool).
   const std::vector<SparseVector>* word_features = nullptr;
   /// Index over the pool; required for CQS and search-interface access.
@@ -144,6 +155,9 @@ struct PipelineContext {
   /// speculative executor parallelizes. See bench/bench_extract.cc.
   const ExtractionSystem* extraction_system = nullptr;
 };
+
+/// Pre-split name; new code should say SharedContext.
+using PipelineContext = SharedContext;
 
 /// Precomputes word features for every document of the corpus. With
 /// `threads` > 1 documents are featurized in parallel with results
@@ -161,7 +175,7 @@ std::vector<SparseVector> FeaturizePool(const Corpus& corpus,
 std::vector<float> ComputeIdf(const Corpus& corpus, size_t threads = 1);
 
 /// Builds an index over the pool documents (the uncompressed reference
-/// backend; PipelineContext::index accepts either backend).
+/// backend; SharedContext::index accepts either backend).
 InvertedIndex BuildPoolIndex(const Corpus& corpus,
                              const std::vector<DocId>& pool);
 
@@ -174,7 +188,7 @@ CompactIndex BuildCompactPoolIndex(const Corpus& corpus,
 
 class AdaptiveExtractionPipeline {
  public:
-  static PipelineResult Run(const PipelineContext& context,
+  static PipelineResult Run(const SharedContext& context,
                             const PipelineConfig& config);
 };
 

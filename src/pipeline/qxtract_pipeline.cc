@@ -5,12 +5,13 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "pipeline/session.h"
 #include "ranking/query_learning.h"
 #include "sampling/sampler.h"
 
 namespace ie {
 
-PipelineResult QXtractPipeline::Run(const PipelineContext& context,
+PipelineResult QXtractPipeline::Run(const SharedContext& context,
                                     const QXtractConfig& config) {
   IE_CHECK(context.corpus != nullptr && context.pool != nullptr &&
            context.outcomes != nullptr && context.relation != nullptr &&
@@ -33,15 +34,7 @@ PipelineResult QXtractPipeline::Run(const PipelineContext& context,
   };
 
   // ---- Sample and label -------------------------------------------------
-  std::unique_ptr<Sampler> sampler;
-  if (config.sampler == SamplerKind::kCQS) {
-    IE_CHECK(context.cqs_queries != nullptr);
-    sampler = std::make_unique<CqsSampler>(*context.cqs_queries,
-                                           context.index,
-                                           &context.corpus->vocab());
-  } else {
-    sampler = std::make_unique<SrsSampler>();
-  }
+  std::unique_ptr<Sampler> sampler = MakeSampler(context, config.sampler);
   std::vector<LabeledExample> sample;
   for (DocId id : sampler->Sample(
            *context.pool, std::min(config.sample_size, context.pool->size()),

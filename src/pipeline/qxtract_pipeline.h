@@ -26,7 +26,7 @@ struct QXtractConfig {
 /// never-retrieved remainder in random order.
 class QXtractPipeline {
  public:
-  static PipelineResult Run(const PipelineContext& context,
+  static PipelineResult Run(const SharedContext& context,
                             const QXtractConfig& config);
 };
 

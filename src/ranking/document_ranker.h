@@ -147,6 +147,10 @@ class RandomRanker : public DocumentRanker {
   std::string name() const override { return "random"; }
 
  private:
+  // ARCH: const-escape (Score() is const across the ranker interface but
+  // the random baseline draws per call; the rng is per-ranker — and hence
+  // per-session — state, never shared, and the rerank engine keeps its
+  // scoring serial and insertion-ordered so runs stay deterministic)
   mutable Rng rng_;
 };
 

@@ -94,6 +94,11 @@ class Featurizer {
   // the racy check runs under ReaderLock (shared suffices for reads) and
   // the recheck-and-insert under WriterLock.
   mutable SharedMutex bigram_mu_;
+  // ARCH: const-escape (synchronized interior: the bigram cache is the
+  // one mutable member behind SharedContext's const Featurizer facade —
+  // reads take bigram_mu_ shared, first-ever misses intern under the
+  // writer lock, and the serial WarmBigrams pass makes id assignment
+  // deterministic; see DESIGN.md §16)
   mutable FlatHashMap<uint64_t, uint32_t> bigram_ids_ GUARDED_BY(bigram_mu_);
 };
 

@@ -1,0 +1,6 @@
+// Violation: a const_cast stripping the const contract readers rely on.
+// No waiver, no NOLINT — must trip const-escape.
+int Bump(const int* counter) {
+  ++*const_cast<int*>(counter);
+  return *counter;
+}

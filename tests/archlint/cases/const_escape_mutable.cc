@@ -1,0 +1,8 @@
+// Violation: an undocumented `mutable` member — const objects of this
+// type are silently writable, which breaks the shared-state immutability
+// story. Must trip const-escape.
+struct Cache {
+  mutable long hits = 0;
+
+  long Hits() const { return ++hits; }
+};

@@ -1,0 +1,8 @@
+// Violation: an ARCH waiver WITHOUT the mandatory reason. An empty
+// parenthesis is not a justification; the waiver must be rejected and
+// const-escape must still fire.
+int Bump(const int* counter) {
+  // ARCH: const-escape ()
+  ++*const_cast<int*>(counter);
+  return *counter;
+}

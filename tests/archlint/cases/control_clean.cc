@@ -1,0 +1,19 @@
+// Control: a well-layered module file with a deep-const shared type.
+// Attributed to `learn`, it includes only layers below itself and marks
+// a type IE_SHARED_IMMUTABLE whose members satisfy the contract. Must
+// lint clean, proving the architecture rules don't over-fire on
+// conforming code.
+// archlint: module=learn
+#include "common/arch.h"
+#include "common/status.h"
+
+struct Model {
+  double weight = 0.0;
+};
+
+struct IE_SHARED_IMMUTABLE SharedView {
+  const Model* model = nullptr;
+  const double* bias = nullptr;
+
+  double BiasOrZero() const { return bias != nullptr ? *bias : 0.0; }
+};

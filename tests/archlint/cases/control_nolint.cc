@@ -1,0 +1,11 @@
+// Control: per-site NOLINT escapes naming the exact architecture rule
+// they silence. Each escape is scoped to one line and one rule id; this
+// file must lint clean, proving targeted suppression works for the
+// architecture rules without blanket opt-outs.
+// archlint: module=ranking
+#include "common/status.h"
+#include "pipeline/result.h"  // NOLINT(ie-layering-violation)
+
+int Strip(const int* p) {
+  return *const_cast<int*>(p);  // NOLINT(ie-const-escape)
+}

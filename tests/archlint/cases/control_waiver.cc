@@ -1,0 +1,16 @@
+// Control: architecture waivers carrying the mandatory reason. The
+// layering waiver covers an up-include, the const-escape waiver a
+// documented synchronized interior; both reasons wrap across comment
+// lines, which the waiver scanner must tolerate. Must lint clean.
+// archlint: module=eval
+#include "common/status.h"
+// ARCH: layering (corpus control: consuming the pipeline's passive
+// output record only — mirrors eval/experiment.h, no behavioral
+// dependency on the layer above)
+#include "pipeline/result.h"
+
+struct Accumulator {
+  // ARCH: const-escape (corpus control: cache filled under the owner's
+  // lock; readers observe a stable value)
+  mutable long cached_total = -1;
+};

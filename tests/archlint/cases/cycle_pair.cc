@@ -1,0 +1,7 @@
+// Violation: a two-header include cycle. The TU itself is innocent — it
+// includes one header of a mutually-including pair (cycle_pair_a.h ↔
+// cycle_pair_b.h); the graph analysis must chase the transitive closure
+// and report the cycle even though neither header was passed explicitly.
+#include "cycle_pair_a.h"
+
+int Use() { return kPairA + kPairB; }

@@ -1,0 +1,6 @@
+// Support header for cycle_pair.cc (not a case itself): one half of a
+// deliberate two-header include cycle.
+#pragma once
+#include "cycle_pair_b.h"
+
+inline constexpr int kPairA = 1;

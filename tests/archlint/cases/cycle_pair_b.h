@@ -1,0 +1,6 @@
+// Support header for cycle_pair.cc (not a case itself): the other half
+// of the deliberate two-header include cycle.
+#pragma once
+#include "cycle_pair_a.h"
+
+inline constexpr int kPairB = 2;

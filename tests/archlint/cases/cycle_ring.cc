@@ -1,0 +1,7 @@
+// Violation: a three-header include ring (a → b → c → a), reached
+// transitively from this TU. Longer cycles must collapse into a single
+// finding naming every member, anchored deterministically at the
+// lexicographically first one.
+#include "cycle_ring_a.h"
+
+int Use() { return kRingA + kRingB + kRingC; }

@@ -1,0 +1,5 @@
+// Support header for cycle_ring.cc (not a case itself).
+#pragma once
+#include "cycle_ring_a.h"
+
+inline constexpr int kRingC = 3;

@@ -1,0 +1,8 @@
+// Violation: a learn-layer file including a sibling mid-layer module it
+// has no declared edge to. extract → learn is a declared intra-layer
+// edge; the reverse direction is not, so learn including extract is a
+// layering violation even though both sit in the same layer.
+// archlint: module=learn
+#include "extract/extraction_system.h"
+
+int Noop() { return 0; }

@@ -1,0 +1,7 @@
+// Violation: a text-layer file reaching up past its own layer into
+// corpus. The DAG is common → text → corpus → ...; text must not know
+// about the corpus structures built on top of it.
+// archlint: module=text
+#include "corpus/corpus.h"
+
+int Noop() { return 0; }

@@ -1,0 +1,7 @@
+// Violation: a ranking-layer file reaching UP into the pipeline layer.
+// The declared DAG places ranking below pipeline; the dependency must be
+// inverted (pipeline includes ranking), not the other way around.
+// archlint: module=ranking
+#include "pipeline/rerank_engine.h"
+
+int Noop() { return 0; }

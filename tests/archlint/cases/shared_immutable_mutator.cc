@@ -1,0 +1,10 @@
+// Violation: an IE_SHARED_IMMUTABLE-marked type with a non-const member
+// function. Even with all-const members, a mutating entry point breaks
+// the read-only contract sessions rely on.
+#include "common/arch.h"
+
+struct IE_SHARED_IMMUTABLE SharedView {
+  const int* table = nullptr;
+
+  void Rebind(const int* next) { table = next; }
+};

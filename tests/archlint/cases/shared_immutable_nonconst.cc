@@ -1,0 +1,13 @@
+// Violation: an IE_SHARED_IMMUTABLE-marked type with a non-const data
+// member. Shared context must be deeply const — a plain `Model*` member
+// would let any session mutate state every other session reads.
+#include "common/arch.h"
+
+struct Model {
+  double weight = 0.0;
+};
+
+struct IE_SHARED_IMMUTABLE SharedView {
+  const Model* model = nullptr;
+  Model* scratch = nullptr;
+};

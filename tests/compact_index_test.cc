@@ -312,7 +312,7 @@ class BackendMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
 
 TEST_P(BackendMatrixTest, GoldenMatrixCellBackendInvariant) {
   const MatrixCase param = GetParam();
-  PipelineContext context = test::SharedContext(RelationId::kPersonCharge);
+  SharedContext context = test::MakeSharedContext(RelationId::kPersonCharge);
   const std::vector<std::string> queries = {"courtroom", "trial", "fraud",
                                             "prosecutor"};
   context.cqs_queries = &queries;

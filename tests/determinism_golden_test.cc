@@ -65,7 +65,7 @@ class Digest {
   uint64_t state_ = 14695981039346656037ull;
 };
 
-std::string RunDigest(const PipelineContext& context,
+std::string RunDigest(const SharedContext& context,
                       const PipelineResult& result) {
   Digest d;
   d.U64(result.processing_order.size());
@@ -104,8 +104,8 @@ class DeterminismGoldenTest : public ::testing::TestWithParam<GoldenCase> {};
 
 TEST_P(DeterminismGoldenTest, ByteStableAcrossThreadsAndPinned) {
   const GoldenCase param = GetParam();
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   PipelineConfig config = PipelineConfig::Defaults(
       param.ranker, SamplerKind::kSRS, UpdateKind::kModC, param.seed);
   config.sample_size = 120;

@@ -355,8 +355,8 @@ class ExtractParallelMatrixTest
 
 TEST_P(ExtractParallelMatrixTest, ByteIdenticalAcrossThreadCounts) {
   const MatrixCase param = GetParam();
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   PipelineConfig config =
       ParallelConfig(param.ranker, param.update, param.seed);
   const PipelineResult serial =
@@ -384,8 +384,8 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(ExtractParallelTest, NarrowWindowStaysByteIdentical) {
   // prefetch_window smaller than the re-rank cadence exercises the
   // requeue-on-update path aggressively.
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   PipelineConfig config =
       ParallelConfig(RankerKind::kRSVMIE, UpdateKind::kModC, 137);
   const PipelineResult serial =
@@ -398,8 +398,8 @@ TEST(ExtractParallelTest, NarrowWindowStaysByteIdentical) {
 }
 
 TEST(ExtractParallelTest, SearchInterfaceByteIdentical) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   PipelineConfig config =
       ParallelConfig(RankerKind::kRSVMIE, UpdateKind::kModC, 139);
   config.access = AccessMode::kSearchInterface;
@@ -410,8 +410,8 @@ TEST(ExtractParallelTest, SearchInterfaceByteIdentical) {
 }
 
 TEST(ExtractParallelTest, SpeculationActuallyEngages) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   PipelineConfig config =
       ParallelConfig(RankerKind::kRSVMIE, UpdateKind::kModC, 149);
   config.extract_threads = 2;
@@ -422,7 +422,7 @@ TEST(ExtractParallelTest, SpeculationActuallyEngages) {
 }
 
 TEST(ExtractParallelTest, LiveExtractionMatchesCachedOutcomes) {
-  PipelineContext context = test::SharedContext(RelationId::kPersonCharge);
+  SharedContext context = test::MakeSharedContext(RelationId::kPersonCharge);
   PipelineConfig config =
       ParallelConfig(RankerKind::kRSVMIE, UpdateKind::kModC, 151);
   const PipelineResult cached =

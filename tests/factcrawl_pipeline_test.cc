@@ -13,7 +13,7 @@ namespace ie {
 namespace {
 
 double MeanAuc(RankerKind kind, UpdateKind update, RelationId relation) {
-  const PipelineContext context = test::SharedContext(relation);
+  const SharedContext context = test::MakeSharedContext(relation);
   double total = 0.0;
   for (uint64_t seed : {101, 103, 107}) {
     PipelineConfig config = PipelineConfig::Defaults(
@@ -26,7 +26,7 @@ double MeanAuc(RankerKind kind, UpdateKind update, RelationId relation) {
 }
 
 double MeanFcAuc(bool adaptive, RelationId relation) {
-  const PipelineContext context = test::SharedContext(relation);
+  const SharedContext context = test::MakeSharedContext(relation);
   double total = 0.0;
   for (uint64_t seed : {101, 103, 107}) {
     FactCrawlConfig config;

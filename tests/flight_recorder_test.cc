@@ -415,8 +415,8 @@ TEST(PipelineRecorderTest, InactiveWithoutSinks) {
 // ---- Pipeline integration ----------------------------------------------
 
 TEST(FlightRecorderPipelineTest, RecordsSeriesAndLedgerWithoutChangingRun) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   PipelineConfig config = PipelineConfig::Defaults(
       RankerKind::kRSVMIE, SamplerKind::kSRS, UpdateKind::kModC, 11);
   config.sample_size = 120;
@@ -511,8 +511,8 @@ TEST(FlightRecorderObsOffTest, RecorderIsInert) {
 }
 
 TEST(FlightRecorderObsOffTest, PipelineIgnoresRecorderConfig) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   PipelineConfig config = PipelineConfig::Defaults(
       RankerKind::kRSVMIE, SamplerKind::kSRS, UpdateKind::kModC, 11);
   config.sample_size = 120;

@@ -1,0 +1,36 @@
+# Script-mode runner for one header self-sufficiency check. Invoked per
+# header by ctest (see CMakeLists.txt here):
+#
+#   cmake -DCXX=<compiler> -DHEADER=<rel path under src/>
+#         -DINCLUDE=<src dir> -DTU_DIR=<scratch dir>
+#         -P compile_header.cmake
+#
+# Generates a translation unit whose only content is `#include "<hdr>"`
+# and compiles it with the project's standard and warning set. A header
+# that leans on whatever its includers happened to include first fails
+# here — include-order coupling is exactly what the layering DAG is
+# supposed to rule out.
+cmake_minimum_required(VERSION 3.16)
+
+foreach(var CXX HEADER INCLUDE TU_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "compile_header.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+string(REPLACE "/" "_" tu_name "${HEADER}")
+set(tu "${TU_DIR}/${tu_name}.cc")
+file(WRITE "${tu}" "#include \"${HEADER}\"\n")
+
+execute_process(
+  COMMAND "${CXX}" -std=c++20 -fsyntax-only -Wall -Wextra
+          "-I${INCLUDE}" "${tu}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "header ${HEADER} does not compile standalone — it "
+    "depends on includes its includers must provide first:\n${out}${err}")
+endif()
+message(STATUS "header ${HEADER} is self-sufficient")

@@ -323,7 +323,7 @@ TEST_F(TracerTest, TimestampsAreMonotonicPerBuffer) {
 // ---- Pipeline integration ----------------------------------------------
 
 TEST(PipelineObservabilityTest, RunPopulatesMetricsAndTrace) {
-  const PipelineContext context = test::SharedContext(RelationId::kPersonOrganization);
+  const SharedContext context = test::MakeSharedContext(RelationId::kPersonOrganization);
   PipelineConfig config = PipelineConfig::Defaults(
       RankerKind::kRSVMIE, SamplerKind::kSRS, UpdateKind::kModC, /*seed=*/7);
   config.sample_size = 60;
@@ -358,7 +358,7 @@ TEST(PipelineObservabilityTest, RunPopulatesMetricsAndTrace) {
 }
 
 TEST(PipelineObservabilityTest, MetricsDisabledStillStampsRunCounters) {
-  const PipelineContext context = test::SharedContext(RelationId::kPersonOrganization);
+  const SharedContext context = test::MakeSharedContext(RelationId::kPersonOrganization);
   PipelineConfig config = PipelineConfig::Defaults(
       RankerKind::kRSVMIE, SamplerKind::kSRS, UpdateKind::kNone, /*seed=*/7);
   config.sample_size = 60;
@@ -372,7 +372,7 @@ TEST(PipelineObservabilityTest, MetricsDisabledStillStampsRunCounters) {
 }
 
 TEST(PipelineObservabilityTest, MetricsAreRunScoped) {
-  const PipelineContext context = test::SharedContext(RelationId::kPersonOrganization);
+  const SharedContext context = test::MakeSharedContext(RelationId::kPersonOrganization);
   PipelineConfig config = PipelineConfig::Defaults(
       RankerKind::kRSVMIE, SamplerKind::kSRS, UpdateKind::kNone, /*seed=*/7);
   config.sample_size = 60;

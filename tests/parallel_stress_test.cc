@@ -101,8 +101,8 @@ TEST(ParallelStressTest, ExceptionChurn) {
 // written concurrently, then sorted; the result must be byte-identical to
 // the serial run, every time, under contention.
 TEST(ParallelStressTest, ThreadedRerankMatchesSerialRepeatedly) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   PipelineConfig config = PipelineConfig::Defaults(
       RankerKind::kRSVMIE, SamplerKind::kSRS, UpdateKind::kModC, 131);
   config.sample_size = 120;

@@ -21,7 +21,7 @@ PipelineConfig BaseConfig(RankerKind ranker, UpdateKind update,
 
 // Invariants every full-access run must satisfy.
 void CheckRunInvariants(const PipelineResult& result,
-                        const PipelineContext& context) {
+                        const SharedContext& context) {
   EXPECT_EQ(result.processing_order.size(), context.pool->size());
   EXPECT_EQ(result.processed_useful.size(), result.processing_order.size());
 
@@ -62,8 +62,8 @@ void CheckRunInvariants(const PipelineResult& result,
 class PipelineRankerTest : public ::testing::TestWithParam<RankerKind> {};
 
 TEST_P(PipelineRankerTest, FullAccessRunInvariants) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   const PipelineResult result = AdaptiveExtractionPipeline::Run(
       context, BaseConfig(GetParam(), UpdateKind::kNone, 11));
   CheckRunInvariants(result, context);
@@ -78,8 +78,8 @@ INSTANTIATE_TEST_SUITE_P(AllRankers, PipelineRankerTest,
 class PipelineDetectorTest : public ::testing::TestWithParam<UpdateKind> {};
 
 TEST_P(PipelineDetectorTest, AdaptiveRunInvariants) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   const PipelineResult result = AdaptiveExtractionPipeline::Run(
       context, BaseConfig(RankerKind::kRSVMIE, GetParam(), 13));
   CheckRunInvariants(result, context);
@@ -95,8 +95,8 @@ INSTANTIATE_TEST_SUITE_P(AllDetectors, PipelineDetectorTest,
                                            UpdateKind::kModC));
 
 TEST(PipelineTest, DeterministicForSeed) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   const PipelineConfig config =
       BaseConfig(RankerKind::kRSVMIE, UpdateKind::kModC, 17);
   const PipelineResult a = AdaptiveExtractionPipeline::Run(context, config);
@@ -106,8 +106,8 @@ TEST(PipelineTest, DeterministicForSeed) {
 }
 
 TEST(PipelineTest, SeedChangesSampleOrder) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   const PipelineResult a = AdaptiveExtractionPipeline::Run(
       context, BaseConfig(RankerKind::kRandom, UpdateKind::kNone, 1));
   const PipelineResult b = AdaptiveExtractionPipeline::Run(
@@ -116,8 +116,8 @@ TEST(PipelineTest, SeedChangesSampleOrder) {
 }
 
 TEST(PipelineTest, PerfectBeatsRandomWhichIsNearChance) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCareer);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCareer);
   const RunMetrics perfect = EvaluateRun(AdaptiveExtractionPipeline::Run(
       context, BaseConfig(RankerKind::kPerfect, UpdateKind::kNone, 19)));
   const RunMetrics random = EvaluateRun(AdaptiveExtractionPipeline::Run(
@@ -127,16 +127,16 @@ TEST(PipelineTest, PerfectBeatsRandomWhichIsNearChance) {
 }
 
 TEST(PipelineTest, LearnedRankerBeatsRandom) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   const RunMetrics learned = EvaluateRun(AdaptiveExtractionPipeline::Run(
       context, BaseConfig(RankerKind::kRSVMIE, UpdateKind::kNone, 23)));
   EXPECT_GT(learned.auc, 0.7);
 }
 
 TEST(PipelineTest, AdaptiveAtLeastMatchesBase) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   double base_auc = 0.0, adaptive_auc = 0.0;
   for (uint64_t seed : {29, 31, 37}) {
     base_auc += EvaluateRun(AdaptiveExtractionPipeline::Run(
@@ -153,8 +153,8 @@ TEST(PipelineTest, AdaptiveAtLeastMatchesBase) {
 }
 
 TEST(PipelineTest, ModelUpdatesActuallyFire) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   const PipelineResult result = AdaptiveExtractionPipeline::Run(
       context, BaseConfig(RankerKind::kRSVMIE, UpdateKind::kModC, 41));
   EXPECT_GT(result.NumUpdates(), 0u);
@@ -163,7 +163,7 @@ TEST(PipelineTest, ModelUpdatesActuallyFire) {
 }
 
 TEST(PipelineTest, CqsSamplingRuns) {
-  PipelineContext context = test::SharedContext(RelationId::kPersonCharge);
+  SharedContext context = test::MakeSharedContext(RelationId::kPersonCharge);
   const std::vector<std::string> queries = {"courtroom", "trial", "fraud",
                                             "prosecutor"};
   context.cqs_queries = &queries;
@@ -176,8 +176,8 @@ TEST(PipelineTest, CqsSamplingRuns) {
 }
 
 TEST(PipelineTest, SearchInterfaceAccessCoversPool) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   PipelineConfig config =
       BaseConfig(RankerKind::kRSVMIE, UpdateKind::kModC, 47);
   config.access = AccessMode::kSearchInterface;
@@ -187,8 +187,8 @@ TEST(PipelineTest, SearchInterfaceAccessCoversPool) {
 }
 
 TEST(PipelineTest, OverheadAccountingNonNegative) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   const PipelineResult result = AdaptiveExtractionPipeline::Run(
       context, BaseConfig(RankerKind::kRSVMIE, UpdateKind::kTopK, 53));
   EXPECT_GT(result.ranking_cpu_seconds, 0.0);
@@ -199,8 +199,8 @@ TEST(PipelineTest, OverheadAccountingNonNegative) {
 // ---- FactCrawl pipelines ---------------------------------------------------
 
 TEST(FactCrawlPipelineTest, FcRunInvariants) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   FactCrawlConfig config;
   config.sample_size = 120;
   config.seed = 59;
@@ -211,8 +211,8 @@ TEST(FactCrawlPipelineTest, FcRunInvariants) {
 }
 
 TEST(FactCrawlPipelineTest, AdaptiveFcReranks) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   FactCrawlConfig config;
   config.adaptive = true;
   config.sample_size = 120;
@@ -224,8 +224,8 @@ TEST(FactCrawlPipelineTest, AdaptiveFcReranks) {
 }
 
 TEST(FactCrawlPipelineTest, FcBeatsRandomOnTopicalRelation) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   FactCrawlConfig config;
   config.sample_size = 120;
   config.seed = 67;

@@ -36,8 +36,8 @@ TEST(ParallelForTest, ZeroIterations) {
 }
 
 TEST(ParallelScoringTest, ThreadedRerankIsDeterministic) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   PipelineConfig config = PipelineConfig::Defaults(
       RankerKind::kRSVMIE, SamplerKind::kSRS, UpdateKind::kModC, 71);
   config.sample_size = 120;
@@ -53,8 +53,8 @@ TEST(ParallelScoringTest, ThreadedRerankIsDeterministic) {
 // ---- QXtract baseline -------------------------------------------------------
 
 TEST(QXtractPipelineTest, RunInvariants) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   QXtractConfig config;
   config.sample_size = 120;
   config.seed = 73;
@@ -68,8 +68,8 @@ TEST(QXtractPipelineTest, RunInvariants) {
 }
 
 TEST(QXtractPipelineTest, BeatsRandomOnTopicalRelation) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   double qx = 0.0;
   for (uint64_t seed : {79, 83, 89}) {
     QXtractConfig config;
@@ -84,8 +84,8 @@ TEST(QXtractPipelineTest, BeatsRandomOnTopicalRelation) {
 TEST(QXtractPipelineTest, RetrievalOrderNotUsefulnessOrder) {
   // QXtract processes by retrieval rank, so it should trail the adaptive
   // learned ranker — the paper's reason to move beyond it.
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   QXtractConfig qx_config;
   qx_config.sample_size = 120;
   qx_config.seed = 97;

@@ -35,8 +35,8 @@ class RerankEquivalenceTest
 
 TEST_P(RerankEquivalenceTest, IncrementalMatchesFullOrder) {
   const auto [ranker, update, seed] = GetParam();
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   const PipelineResult full = AdaptiveExtractionPipeline::Run(
       context, Config(ranker, update, seed, /*incremental=*/false));
   const PipelineResult incremental = AdaptiveExtractionPipeline::Run(
@@ -94,8 +94,8 @@ TEST(RerankConfigTest, ModCAlphaDefaultsDifferPerRanker) {
 // next update, and kNone never updates. Guards against re-introducing the
 // unbounded feature-vector accumulation this PR removed.
 TEST(RerankBufferTest, NonAdaptiveRunKeepsNoExampleBuffer) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   const PipelineResult result = AdaptiveExtractionPipeline::Run(
       context, Config(RankerKind::kRSVMIE, UpdateKind::kNone, 11,
                       /*incremental=*/true));
@@ -104,8 +104,8 @@ TEST(RerankBufferTest, NonAdaptiveRunKeepsNoExampleBuffer) {
 }
 
 TEST(RerankBufferTest, AdaptiveRunBuffersBetweenUpdates) {
-  const PipelineContext context =
-      test::SharedContext(RelationId::kPersonCharge);
+  const SharedContext context =
+      test::MakeSharedContext(RelationId::kPersonCharge);
   const PipelineResult result = AdaptiveExtractionPipeline::Run(
       context, Config(RankerKind::kRSVMIE, UpdateKind::kWindF, 11,
                       /*incremental=*/true));

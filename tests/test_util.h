@@ -79,9 +79,9 @@ inline const InvertedIndex& SharedIndex() {
   return *index;
 }
 
-/// Assembled pipeline context over the shared world.
-inline PipelineContext SharedContext(RelationId relation) {
-  PipelineContext context;
+/// Assembled shared (read-only) context over the shared world.
+inline ie::SharedContext MakeSharedContext(RelationId relation) {
+  ie::SharedContext context;
   context.corpus = &SharedCorpus();
   context.pool = &SharedCorpus().splits().test;
   context.outcomes = &SharedOutcomes(relation);

@@ -45,6 +45,26 @@ step "detlint violation corpus (tests/detlint)"
 # determinism rules actually bite and the escapes stay scoped.
 ctest --test-dir build-default -R '^detlint\.' --output-on-failure -j "$JOBS"
 
+step "archlint violation corpus (tests/archlint)"
+# The architecture rules (layering DAG, include cycles, const escapes,
+# shared-state immutability) must each bite on their encoded violation
+# and stay quiet on the waived/NOLINT controls — same wrong-reason
+# rejection as the detlint corpus above.
+ctest --test-dir build-default -R '^archlint\.' --output-on-failure \
+    -j "$JOBS"
+
+step "layering scan (module DAG + cycles over the whole tree)"
+# The default lint walk covers src/, bench/, tools/, tests/, examples/;
+# zero layering-violation/cycle/const-escape findings means the declared
+# module DAG and the deep-const shared-context contract hold with
+# per-site justified waivers only.
+python3 tools/lint.py src bench tests examples
+
+step "header self-sufficiency gate (tests/headercheck)"
+# Every public src/ header compiles as the sole content of a TU with
+# only -I src — no include-order coupling between modules.
+ctest --test-dir build-default -R '^headercheck\.' -j "$JOBS"
+
 step "golden-hash determinism matrix (rankers x seeds x threads)"
 # Byte-stable digests across extract_threads {1,2,8} plus pinned golden
 # constants; see DESIGN.md §12 for the re-pin procedure.

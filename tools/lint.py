@@ -50,11 +50,52 @@ output guarantee:
                        (common/ordered.h) so the association order is
                        explicit and cannot be silently parallelized.
 
+Architecture rules (archlint, DESIGN.md §16) — the static side of the
+module layering and the shared-vs-session state split:
+
+  layering-violation   an `#include` that points up or across the declared
+                       module DAG (common → text → corpus → index →
+                       {extract, learn, ranking, sampling, update, eval} →
+                       pipeline → {bench, tools, tests, examples}; the
+                       middle layer's intra-layer edges are listed in
+                       INTRA_LAYER_DEPS and must themselves stay acyclic).
+                       Waive a site with `// ARCH: layering (<reason>)` —
+                       the reason is mandatory.
+  cycle                any include cycle reachable from the linted files
+                       (graph-level: the include-graph extractor chases
+                       quoted includes transitively). Waivable on the
+                       anchoring include line with `// ARCH: cycle
+                       (<reason>)`.
+  const-escape         no `const_cast` and no `mutable` members in src/.
+                       `mutable` on the sync-facade primitives (ie::Mutex,
+                       SharedMutex, CondVar) is the sanctioned
+                       synchronized-interior handle and is exempt; any
+                       other site needs `// ARCH: const-escape (<reason>)`
+                       naming why the mutation is unobservable (e.g. a
+                       lock-guarded cache behind a deterministic warm
+                       pass).
+  shared-immutable     cross-check of the IE_SHARED_IMMUTABLE marker
+                       (common/arch.h): inside a marked struct/class body,
+                       every data member must be const (deep-const views
+                       only, so no non-const member function of a pointee
+                       is reachable), no `mutable` members, and every
+                       member function must be const-qualified. Waive a
+                       member with `// ARCH: shared-immutable (<reason>)`.
+
+Advisory (not in the default rule set, no CI gate):
+
+  unused-include       with --unused-include, flags quoted includes of
+                       repo headers none of whose provided names (types,
+                       functions, macros, constants) appear in the
+                       including file. Heuristic — verify a removal still
+                       builds before committing it.
+
 Usage: tools/lint.py [paths...] [--format=text|json] [--treat-as-src]
-       (paths default to src tests bench examples; the violation corpus
-        tests/detlint/cases is skipped in directory walks and only linted
-        when a case file is passed explicitly — its files violate rules on
-        purpose)
+                     [--unused-include]
+       (paths default to src tests bench examples; the violation corpora
+        tests/detlint/cases and tests/archlint/cases are skipped in
+        directory walks and only linted when a case file is passed
+        explicitly — their files violate rules on purpose)
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
 
@@ -84,6 +125,88 @@ NOLINT_RE = re.compile(r"//\s*NOLINT\(ie-([a-z-]+)\)")
 # not waive anything.
 WAIVER_RE = re.compile(
     r"//\s*DETERMINISM:\s*order-insensitive\s*\(\s*[^)\s][^)]*\)")
+
+# ---------------------------------------------------------------------------
+# Architecture model (archlint, DESIGN.md §16).
+#
+# The declared module DAG. Layers are ordered bottom to top; a module may
+# include modules in strictly lower layers, itself, and — inside the
+# middle layer — the explicit intra-layer edges below. Everything else is
+# a layering-violation.
+MODULE_LAYERS = (
+    ("common",),
+    ("text",),
+    ("corpus",),
+    ("index",),
+    ("extract", "learn", "ranking", "sampling", "update", "eval"),
+    ("pipeline",),
+    ("bench", "tools", "tests", "examples"),
+)
+# Directed intra-layer edges within the middle layer (module -> modules it
+# may additionally include). These must form a DAG among themselves; the
+# closure is validated at import time so a bad edit fails loudly.
+INTRA_LAYER_DEPS = {
+    "extract": ("learn",),
+    "ranking": ("learn",),
+    "sampling": ("extract", "learn", "ranking"),
+    "update": ("learn", "ranking"),
+    "eval": ("extract", "learn", "ranking"),
+}
+
+SRC_MODULES = frozenset(
+    m for layer in MODULE_LAYERS[:-1] for m in layer)
+TOP_MODULES = frozenset(MODULE_LAYERS[-1])
+
+
+def _build_allowed_includes():
+    """Maps module -> frozenset of modules it may #include (not counting
+    itself). Validates that INTRA_LAYER_DEPS stays within one layer and is
+    acyclic."""
+    layer_of = {}
+    for rank, layer in enumerate(MODULE_LAYERS):
+        for module in layer:
+            layer_of[module] = rank
+    for module, deps in INTRA_LAYER_DEPS.items():
+        for dep in deps:
+            if layer_of[dep] != layer_of[module]:
+                raise AssertionError(
+                    f"INTRA_LAYER_DEPS: {module} -> {dep} crosses layers")
+    # Transitive closure of the intra-layer edges, with cycle detection.
+    closure = {}
+
+    def close(module, trail):
+        if module in closure:
+            return closure[module]
+        if module in trail:
+            raise AssertionError(
+                f"INTRA_LAYER_DEPS cycle through {module}")
+        deps = set(INTRA_LAYER_DEPS.get(module, ()))
+        for dep in tuple(deps):
+            deps |= close(dep, trail + (module,))
+        closure[module] = deps
+        return deps
+
+    allowed = {}
+    for module, rank in layer_of.items():
+        lower = {m for m, r in layer_of.items() if r < rank}
+        allowed[module] = frozenset(lower | close(module, ()))
+    return allowed
+
+ALLOWED_INCLUDES = _build_allowed_includes()
+
+# Module override for files outside src/ (the archlint violation corpus
+# and lint tests): `// archlint: module=<name>` pins the file's module.
+ARCH_MODULE_RE = re.compile(r"//\s*archlint:\s*module=([a-z]+)")
+# Architecture waiver: per-site, reason mandatory and non-empty, tag must
+# name the rule being waived.
+ARCH_WAIVER_RE_TEMPLATE = r"//\s*ARCH:\s*%s\s*\(\s*[^)\s][^)]*\)"
+_ARCH_WAIVER_RES = {
+    tag: re.compile(ARCH_WAIVER_RE_TEMPLATE % re.escape(tag))
+    for tag in ("layering", "cycle", "const-escape", "shared-immutable")
+}
+
+INCLUDE_RE = re.compile(r'^[ \t]*#[ \t]*include[ \t]*"([^"]+)"',
+                        re.MULTILINE)
 
 CPP_KEYWORDS = frozenset((
     "alignas", "auto", "bool", "break", "case", "catch", "char", "class",
@@ -259,7 +382,39 @@ class FileContext:
         # and include paths are string literals.
         self.includes_parallel = re.search(
             r'#\s*include\s*"common/parallel\.h"', raw) is not None
+        # Quoted includes as (line, path) pairs — from raw text, since the
+        # stripper blanks string contents.
+        self.includes = [(raw.count("\n", 0, m.start()) + 1, m.group(1))
+                         for m in INCLUDE_RE.finditer(raw)]
+        self.module = self._module_of(rel, raw)
         self._unordered_names = None
+
+    @staticmethod
+    def _module_of(rel, raw):
+        """The file's module in the declared DAG: the directory under
+        src/, the top-level tree for bench/tools/tests/examples, or an
+        explicit `// archlint: module=<m>` marker (corpus/test files)."""
+        m = ARCH_MODULE_RE.search(raw)
+        if m and m.group(1) in SRC_MODULES | TOP_MODULES:
+            return m.group(1)
+        parts = rel.split("/")
+        if parts[0] == "src" and len(parts) > 2 and parts[1] in SRC_MODULES:
+            return parts[1]
+        if parts[0] in TOP_MODULES:
+            return parts[0]
+        return None
+
+    def arch_waived(self, idx, tag):
+        """Architecture waiver for `tag` on this line or in the contiguous
+        comment block immediately above it (reasons routinely wrap)."""
+        pattern = _ARCH_WAIVER_RES[tag]
+        lines = [self.raw_line(idx)]
+        j = idx - 1
+        while j >= 1 and len(lines) <= 6 and \
+                self.raw_line(j).lstrip().startswith("//"):
+            lines.append(self.raw_line(j))
+            j -= 1
+        return bool(pattern.search(" ".join(reversed(lines))))
 
     @property
     def unordered_names(self):
@@ -564,6 +719,192 @@ class FloatReduceRule(Rule):
                        "ie::FixedOrderSum (common/ordered.h)" % m.group(1))
 
 
+def include_module(path):
+    """Module an include path points into, or None for non-modular
+    includes (system headers are angle-bracketed and never reach here;
+    sibling includes like "bench_common.h" carry no module)."""
+    head = path.split("/", 1)[0]
+    return head if "/" in path and head in SRC_MODULES | TOP_MODULES \
+        else None
+
+
+class LayeringRule(Rule):
+    rule_id = "layering-violation"
+
+    MESSAGE = ("module '%s' must not include '%s' (%s points %s the "
+               "declared DAG common → text → corpus → index → "
+               "{extract,learn,ranking,sampling,update,eval} → pipeline → "
+               "{bench,tools,tests,examples}); invert the dependency, "
+               "move the shared type down, or waive with "
+               "`// ARCH: layering (<reason>)`")
+
+    def check(self, ctx):
+        module = ctx.module
+        # Top-layer trees may include everything; unattributed files
+        # (e.g. a stray root-level TU) carry no layering obligations.
+        if module is None or module in TOP_MODULES:
+            return
+        allowed = ALLOWED_INCLUDES[module]
+        for line, path in ctx.includes:
+            target = include_module(path)
+            if target is None or target == module or target in allowed:
+                continue
+            if ctx.arch_waived(line, "layering"):
+                continue
+            direction = "across" if target in ALLOWED_INCLUDES and \
+                module not in ALLOWED_INCLUDES[target] else "up"
+            yield line, self.MESSAGE % (module, path, target, direction)
+
+
+class ConstEscapeRule(Rule):
+    rule_id = "const-escape"
+
+    # `mutable` on a sync-facade primitive is the sanctioned
+    # synchronized-interior handle: the facade's lock operations are
+    # non-const by design, so a const reader must hold the primitive
+    # mutable. Anything else guarded by it still needs its own waiver.
+    SYNC_PRIMITIVE_RE = re.compile(
+        r"\bmutable\s+(?:ie\s*::\s*)?(?:Mutex|SharedMutex|CondVar)\b")
+    # Skip lambda mutability (`](...) mutable {`): it is capture-local
+    # state, not a const-object escape.
+    MUTABLE_MEMBER_RE = re.compile(r"(?<!\))\s*\bmutable\b")
+
+    def check(self, ctx):
+        if not ctx.in_src:
+            return
+        for idx, line in enumerate(ctx.code_lines, 1):
+            if re.search(r"\bconst_cast\s*<", line) and \
+                    not ctx.arch_waived(idx, "const-escape"):
+                yield idx, ("const_cast strips the const contract readers "
+                            "rely on; refactor, or waive with `// ARCH: "
+                            "const-escape (<reason>)` naming why the "
+                            "mutation is unobservable")
+            if re.search(r"\)\s*mutable\b", line):
+                continue
+            if self.MUTABLE_MEMBER_RE.search(line) and \
+                    not self.SYNC_PRIMITIVE_RE.search(line) and \
+                    not ctx.arch_waived(idx, "const-escape"):
+                yield idx, ("`mutable` member makes const objects "
+                            "writable; use a per-session member, or waive "
+                            "with `// ARCH: const-escape (<reason>)` for a "
+                            "documented synchronized interior")
+
+
+class SharedImmutableRule(Rule):
+    """Cross-checks IE_SHARED_IMMUTABLE-marked types (common/arch.h):
+    every data member const, no mutable members, every member function
+    const-qualified. Deep-const members mean no non-const member function
+    of a pointee is reachable — the compiler enforces the rest."""
+
+    rule_id = "shared-immutable"
+
+    MARKER_RE = re.compile(
+        r"\b(?:struct|class)\s+IE_SHARED_IMMUTABLE\s+(\w+)")
+
+    def check(self, ctx):
+        if not ctx.in_src:
+            return
+        for m in self.MARKER_RE.finditer(ctx.code):
+            name = m.group(1)
+            open_pos = ctx.code.find("{", m.end())
+            if open_pos < 0:
+                continue
+            close_pos = self._match_brace(ctx.code, open_pos)
+            body = ctx.code[open_pos + 1:close_pos]
+            for offset, stmt in self._statements(body):
+                line = ctx.line_of_offset(open_pos + 1 + offset)
+                for msg in self._check_statement(name, stmt):
+                    if not ctx.arch_waived(line, "shared-immutable"):
+                        yield line, msg
+
+    @staticmethod
+    def _match_brace(text, open_pos):
+        depth = 0
+        for i in range(open_pos, len(text)):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    return i
+        return len(text)
+
+    @staticmethod
+    def _statements(body):
+        """Top-level statements of a class body as (offset, text) pairs.
+        Braced blocks (member-function bodies, nested types) end the
+        statement that introduced them and are skipped whole; default
+        member initializers of brace-init form stay part of their
+        statement via the `=` check."""
+        statements = []
+        start = 0
+        depth = 0
+        i = 0
+        while i < len(body):
+            c = body[i]
+            if c in "([":
+                depth += 1
+            elif c in ")]":
+                depth = max(0, depth - 1)
+            elif c == "{" and depth == 0:
+                stmt = body[start:i]
+                if "=" in stmt.rsplit(")", 1)[-1]:
+                    # `= {...}` initializer: stays in this statement.
+                    i = SharedImmutableRule._match_brace(body, i) + 1
+                    continue
+                statements.append((start, stmt))
+                i = SharedImmutableRule._match_brace(body, i) + 1
+                start = i
+                continue
+            elif c == ";" and depth == 0:
+                statements.append((start, body[start:i]))
+                start = i + 1
+            i += 1
+        tail = body[start:].strip()
+        if tail:
+            statements.append((start, tail))
+        return [(off + len(txt) - len(txt.lstrip()), txt.strip())
+                for off, txt in statements if txt.strip()]
+
+    @staticmethod
+    def _check_statement(type_name, stmt):
+        if not stmt or stmt.rstrip(":") in ("public", "private",
+                                            "protected"):
+            return
+        first = _IDENT_RE.match(stmt)
+        first = first.group(0) if first else ""
+        if first in ("using", "typedef", "friend", "static_assert",
+                     "enum"):
+            return
+        if re.search(r"(?<!\))\s*\bmutable\b", stmt):
+            yield ("mutable member in IE_SHARED_IMMUTABLE type '%s': "
+                   "sessions share it const — move the state to "
+                   "SessionState or waive with `// ARCH: shared-immutable "
+                   "(<reason>)`" % type_name)
+            return
+        if "(" in stmt:
+            # Member function: constructors/destructors create the object
+            # before sharing; everything else must be const-qualified.
+            if stmt.lstrip("~ ").startswith(type_name) or \
+                    first in ("static", "explicit", "constexpr"):
+                return
+            if not re.search(r"\bconst\b", stmt.rsplit(")", 1)[-1]):
+                yield ("non-const member function in IE_SHARED_IMMUTABLE "
+                       "type '%s': shared state must be read-only — "
+                       "const-qualify it or move it to SessionState"
+                       % type_name)
+            return
+        if re.match(r"(?:static\s+)?(?:constexpr|const)\b", stmt):
+            return
+        idents = [i for i in _IDENT_RE.findall(stmt.split("=")[0])
+                  if i not in CPP_KEYWORDS]
+        member = idents[-1] if idents else "?"
+        yield ("member '%s' of IE_SHARED_IMMUTABLE type '%s' is not "
+               "const: shared context must be deeply const (hold a "
+               "`const T*`/`const T&` view, or move it to SessionState)"
+               % (member, type_name))
+
+
 RULES = (
     PragmaOnceRule(),
     UsingNamespaceRule(),
@@ -574,9 +915,200 @@ RULES = (
     PointerKeyRule(),
     LocaleFormatRule(),
     FloatReduceRule(),
+    LayeringRule(),
+    ConstEscapeRule(),
+    SharedImmutableRule(),
 )
 
-RULE_IDS = tuple(r.rule_id for r in RULES)
+RULE_IDS = tuple(r.rule_id for r in RULES) + ("cycle",)
+
+
+# ---------------------------------------------------------------------------
+# Include-graph analyses (archlint, DESIGN.md §16). Unlike the per-file
+# rules these need the graph: quoted includes are resolved and chased
+# transitively from the linted files, so a cycle hiding behind headers
+# that were not passed explicitly is still found.
+
+def resolve_include(from_path, inc):
+    """Absolute path of the repo file a quoted include resolves to, or
+    None for system/external headers. Mirrors the build's include dirs:
+    src/ first (every target compiles with -I src), then the including
+    file's directory, then the repo root (tests include "tests/...")."""
+    for base in (os.path.join(REPO_ROOT, "src"),
+                 os.path.dirname(from_path), REPO_ROOT):
+        candidate = os.path.normpath(os.path.join(base, inc))
+        if candidate.endswith(SOURCE_EXTS) and os.path.isfile(candidate):
+            return candidate
+    return None
+
+
+def build_include_graph(roots):
+    """Include graph over the transitive closure of `roots`: maps absolute
+    path -> list of (line, absolute included path)."""
+    graph = {}
+    stack = [os.path.abspath(p) for p in roots]
+    while stack:
+        path = stack.pop()
+        if path in graph:
+            continue
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                raw = f.read()
+        except OSError:
+            graph[path] = []
+            continue
+        edges = []
+        for m in INCLUDE_RE.finditer(raw):
+            target = resolve_include(path, m.group(1))
+            if target is not None:
+                edges.append((raw.count("\n", 0, m.start()) + 1, target))
+                stack.append(target)
+        graph[path] = edges
+    return graph
+
+
+def check_cycles(files, findings):
+    """Appends one `cycle` finding per include cycle reachable from
+    `files`, anchored at the lexicographically first member's include of
+    the next member (deterministic across runs)."""
+    graph = build_include_graph(files)
+    index = {}
+    lowlink = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+
+    def strongconnect(root):  # iterative Tarjan
+        work = [(root, 0)]
+        while work:
+            node, edge_idx = work.pop()
+            if edge_idx == 0:
+                index[node] = lowlink[node] = len(index)
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            edges = graph.get(node, [])
+            for i in range(edge_idx, len(edges)):
+                _, target = edges[i]
+                if target not in index:
+                    work.append((node, i + 1))
+                    work.append((target, 0))
+                    recurse = True
+                    break
+                if target in on_stack:
+                    lowlink[node] = min(lowlink[node], index[target])
+            if recurse:
+                continue
+            if lowlink[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                if len(scc) > 1 or \
+                        any(t == node for _, t in graph.get(node, [])):
+                    sccs.append(scc)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+
+    for scc in sccs:
+        members = sorted(relpath(p) for p in scc)
+        anchor = min(scc, key=relpath)
+        scc_set = set(scc)
+        line, target = next(
+            ((ln, t) for ln, t in graph.get(anchor, []) if t in scc_set),
+            (1, anchor))
+        rel = relpath(anchor)
+        raw_line = ""
+        try:
+            with open(anchor, encoding="utf-8", errors="replace") as f:
+                lines = f.read().splitlines()
+            raw_line = lines[line - 1] if 0 < line <= len(lines) else ""
+        except OSError:
+            pass
+        if suppressed(raw_line, "cycle"):
+            continue
+        if _ARCH_WAIVER_RES["cycle"].search(raw_line):
+            continue
+        findings.append(
+            (rel, line, "cycle",
+             "include cycle: %s — headers in a cycle cannot be layered "
+             "or compiled standalone; break it with a forward "
+             "declaration or by moving the shared type down"
+             % " -> ".join(members + [members[0]])))
+
+
+# Names a header "provides", for the advisory unused-include analysis:
+# types, enums, aliases, macros, and anything that syntactically looks
+# like a function or initialized constant. Over-approximating keeps the
+# advisory conservative (an include is flagged only when NONE of these
+# names appear in the including file).
+_PROVIDES_RES = (
+    re.compile(r"\b(?:class|struct|union)\s+(?:IE_\w+\s+)?([A-Za-z_]\w*)"),
+    re.compile(r"\benum\s+(?:class\s+|struct\s+)?([A-Za-z_]\w*)"),
+    re.compile(r"\busing\s+([A-Za-z_]\w*)\s*="),
+    re.compile(r"([A-Za-z_]\w*)\s*\("),
+    re.compile(r"\b(?:constexpr|const|inline)\s+[\w:<>]+\s+"
+               r"([A-Za-z_]\w*)\s*[={]"),
+)
+_DEFINE_RE = re.compile(r"#\s*define\s+([A-Za-z_]\w*)")
+
+
+def _provided_names(path, cache):
+    if path in cache:
+        return cache[path]
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+    except OSError:
+        cache[path] = frozenset()
+        return cache[path]
+    code = strip_comments_and_strings(raw)
+    names = set(_DEFINE_RE.findall(raw))
+    for pattern in _PROVIDES_RES:
+        names.update(pattern.findall(code))
+    cache[path] = frozenset(names - CPP_KEYWORDS)
+    return cache[path]
+
+
+def check_unused_includes(files, findings):
+    """Advisory: flags quoted includes of repo files whose provided names
+    never appear in the including file. Heuristic (macros expanded by
+    other macros, re-exported headers, and operator-only headers can fool
+    it) — verify each removal still builds."""
+    cache = {}
+    for path in files:
+        path = os.path.abspath(path)
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                raw = f.read()
+        except OSError:
+            continue
+        code = strip_comments_and_strings(raw)
+        used = frozenset(_IDENT_RE.findall(code))
+        stem = os.path.splitext(os.path.basename(path))[0]
+        for m in INCLUDE_RE.finditer(raw):
+            inc = m.group(1)
+            target = resolve_include(path, inc)
+            if target is None:
+                continue
+            # The companion header is the TU's interface — always "used".
+            if os.path.splitext(os.path.basename(target))[0] == stem:
+                continue
+            if _provided_names(target, cache) & used:
+                continue
+            line = raw.count("\n", 0, m.start()) + 1
+            findings.append(
+                (relpath(path), line, "unused-include",
+                 'no name provided by "%s" appears in this file '
+                 "(advisory — verify the removal builds)" % inc))
 
 
 def suppressed(raw_line, rule):
@@ -609,12 +1141,12 @@ def collect_files(paths):
                 files.append(ap)
         elif os.path.isdir(ap):
             for dirpath, dirnames, filenames in os.walk(ap):
-                # `detlint` holds the violation corpus: its cases trip
-                # rules on purpose and are linted one by one by their
-                # ctest driver, never by directory walks.
+                # `detlint` and `archlint` hold the violation corpora:
+                # their cases trip rules on purpose and are linted one by
+                # one by their ctest drivers, never by directory walks.
                 dirnames[:] = [d for d in dirnames
                                if not d.startswith(("build", ".git"))
-                               and d != "detlint"]
+                               and d not in ("detlint", "archlint")]
                 for fn in sorted(filenames):
                     if fn.endswith(SOURCE_EXTS):
                         files.append(os.path.join(dirpath, fn))
@@ -636,6 +1168,10 @@ def main(argv):
     parser.add_argument("--treat-as-src", action="store_true",
                         help="apply src/-scoped rules to every input "
                         "(used by the violation-corpus driver and tests)")
+    parser.add_argument("--unused-include", action="store_true",
+                        help="also run the advisory unused-include "
+                        "analysis over the inputs (heuristic; verify "
+                        "removals build)")
     args = parser.parse_args(argv[1:])
 
     paths = args.paths or [p for p in DEFAULT_PATHS
@@ -646,6 +1182,9 @@ def main(argv):
     findings = []
     for path in files:
         check_file(path, findings, treat_as_src=args.treat_as_src)
+    check_cycles(files, findings)
+    if args.unused_include:
+        check_unused_includes(files, findings)
 
     if args.fmt == "json":
         print(json.dumps({

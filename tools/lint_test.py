@@ -446,5 +446,371 @@ class JsonOutputTest(LintTestBase):
         self.assertEqual(files, [])
 
 
+class LayeringTest(LintTestBase):
+    def test_up_include_flagged(self):
+        self.assertEqual(
+            rules_for("src/ranking/foo.cc",
+                      '#include "pipeline/result.h"\nint x;\n'),
+            ["layering-violation"])
+
+    def test_down_include_clean(self):
+        self.assertEqual(
+            rules_for("src/pipeline/foo.cc",
+                      '#include "ranking/document_ranker.h"\n'
+                      '#include "common/status.h"\nint x;\n'),
+            [])
+
+    def test_declared_intra_layer_edge_allowed(self):
+        # extract → learn is a declared edge of the middle layer.
+        self.assertEqual(
+            rules_for("src/extract/foo.cc",
+                      '#include "learn/linear_model.h"\nint x;\n'),
+            [])
+
+    def test_undeclared_intra_layer_edge_flagged(self):
+        # ...but the reverse direction is not declared.
+        self.assertEqual(
+            rules_for("src/learn/foo.cc",
+                      '#include "extract/ner.h"\nint x;\n'),
+            ["layering-violation"])
+
+    def test_skip_layer_up_include_flagged(self):
+        self.assertEqual(
+            rules_for("src/text/foo.cc",
+                      '#include "corpus/corpus.h"\nint x;\n'),
+            ["layering-violation"])
+
+    def test_module_marker_overrides_path(self):
+        # A file outside src/ pinned to a module by marker carries that
+        # module's layering obligations (corpus cases rely on this).
+        self.assertEqual(
+            rules_for("scratch/foo.cc",
+                      "// archlint: module=ranking\n"
+                      '#include "pipeline/result.h"\nint x;\n'),
+            ["layering-violation"])
+
+    def test_top_trees_unconstrained(self):
+        self.assertEqual(
+            rules_for("bench/foo.cc",
+                      '#include "pipeline/pipeline.h"\nint x;\n'),
+            [])
+
+    def test_sibling_include_carries_no_module(self):
+        self.assertEqual(
+            rules_for("src/ranking/foo.cc",
+                      '#include "helper_local.h"\nint x;\n'),
+            [])
+
+    def test_waiver_with_reason_accepted(self):
+        self.assertEqual(
+            rules_for("src/ranking/foo.cc",
+                      "// ARCH: layering (consumes the passive result "
+                      "record only)\n"
+                      '#include "pipeline/result.h"\nint x;\n'),
+            [])
+
+    def test_waiver_without_reason_rejected(self):
+        self.assertEqual(
+            rules_for("src/ranking/foo.cc",
+                      "// ARCH: layering ()\n"
+                      '#include "pipeline/result.h"\nint x;\n'),
+            ["layering-violation"])
+
+    def test_nolint_suppresses(self):
+        self.assertEqual(
+            rules_for("src/ranking/foo.cc",
+                      '#include "pipeline/result.h"'
+                      "  // NOLINT(ie-layering-violation)\nint x;\n"),
+            [])
+
+    def test_dag_closure_is_sane(self):
+        # common is at the bottom of everything; pipeline sees the whole
+        # middle layer; nothing below pipeline may see pipeline.
+        for module in lint.SRC_MODULES - {"common"}:
+            self.assertIn("common", lint.ALLOWED_INCLUDES[module],
+                          msg=module)
+        for module in ("extract", "learn", "ranking", "sampling",
+                       "update", "eval"):
+            self.assertIn(module, lint.ALLOWED_INCLUDES["pipeline"])
+            self.assertNotIn("pipeline", lint.ALLOWED_INCLUDES[module])
+
+
+class CycleTest(LintTestBase):
+    def write(self, rel, text):
+        ap = os.path.join(lint.REPO_ROOT, rel)
+        os.makedirs(os.path.dirname(ap), exist_ok=True)
+        with open(ap, "w", encoding="utf-8") as f:
+            f.write(text)
+        return ap
+
+    def cycles(self, roots):
+        findings = []
+        lint.check_cycles(roots, findings)
+        return findings
+
+    def test_two_header_cycle_detected(self):
+        a = self.write("src/m/a.h", '#include "m/b.h"\nint xa;\n')
+        self.write("src/m/b.h", '#include "m/a.h"\nint xb;\n')
+        findings = self.cycles([a])
+        self.assertEqual(len(findings), 1)
+        rel, line, rule, msg = findings[0]
+        self.assertEqual(rule, "cycle")
+        self.assertEqual(rel, "src/m/a.h")  # lexicographic anchor
+        self.assertIn("src/m/b.h", msg)
+
+    def test_cycle_found_transitively_from_tu(self):
+        # The TU is not in the cycle; the graph chase must still find it.
+        tu = self.write("src/m/use.cc", '#include "m/a.h"\nint y;\n')
+        self.write("src/m/a.h", '#include "m/b.h"\n')
+        self.write("src/m/b.h", '#include "m/a.h"\n')
+        findings = self.cycles([tu])
+        self.assertEqual([f[2] for f in findings], ["cycle"])
+
+    def test_self_include_detected(self):
+        a = self.write("src/m/self.h", '#include "m/self.h"\n')
+        self.assertEqual([f[2] for f in self.cycles([a])], ["cycle"])
+
+    def test_acyclic_graph_clean(self):
+        a = self.write("src/m/a.h", '#include "m/b.h"\n')
+        self.write("src/m/b.h", '#include "m/c.h"\n')
+        self.write("src/m/c.h", "int z;\n")
+        self.assertEqual(self.cycles([a]), [])
+
+    def test_diamond_is_not_a_cycle(self):
+        a = self.write("src/m/top.h",
+                       '#include "m/l.h"\n#include "m/r.h"\n')
+        self.write("src/m/l.h", '#include "m/base.h"\n')
+        self.write("src/m/r.h", '#include "m/base.h"\n')
+        self.write("src/m/base.h", "int z;\n")
+        self.assertEqual(self.cycles([a]), [])
+
+    def test_waiver_on_anchor_line_accepted(self):
+        a = self.write(
+            "src/m/a.h",
+            '#include "m/b.h"  // ARCH: cycle (forward-decl split '
+            "scheduled; tracked pair)\n")
+        self.write("src/m/b.h", '#include "m/a.h"\n')
+        self.assertEqual(self.cycles([a]), [])
+
+
+class ConstEscapeTest(LintTestBase):
+    def test_const_cast_flagged(self):
+        self.assertEqual(
+            rules_for("src/m/x.cc",
+                      "int f(const int* p) "
+                      "{ return *const_cast<int*>(p); }\n"),
+            ["const-escape"])
+
+    def test_mutable_member_flagged(self):
+        self.assertEqual(
+            rules_for("src/m/x.h",
+                      "#pragma once\nstruct C { mutable long hits = 0; "
+                      "};\n"),
+            ["const-escape"])
+
+    def test_sync_facade_primitive_exempt(self):
+        self.assertEqual(
+            rules_for("src/m/x.h",
+                      "#pragma once\nstruct C {\n"
+                      "  mutable ie::SharedMutex mu;\n"
+                      "  mutable Mutex plain_mu;\n"
+                      "};\n"),
+            [])
+
+    def test_lambda_mutable_exempt(self):
+        self.assertEqual(
+            rules_for("src/m/x.cc",
+                      "auto f = [n = 0]() mutable { return ++n; };\n"),
+            [])
+
+    def test_waiver_with_reason_accepted(self):
+        self.assertEqual(
+            rules_for("src/m/x.h",
+                      "#pragma once\nstruct C {\n"
+                      "  // ARCH: const-escape (DCL cache guarded by mu;\n"
+                      "  // readers see a published value)\n"
+                      "  mutable long cache = 0;\n"
+                      "};\n"),
+            [])
+
+    def test_waiver_without_reason_rejected(self):
+        self.assertEqual(
+            rules_for("src/m/x.cc",
+                      "// ARCH: const-escape ()\n"
+                      "int f(const int* p) "
+                      "{ return *const_cast<int*>(p); }\n"),
+            ["const-escape"])
+
+    def test_outside_src_not_scoped(self):
+        self.assertEqual(
+            rules_for("scratch/x.cc",
+                      "int f(const int* p) "
+                      "{ return *const_cast<int*>(p); }\n"),
+            [])
+
+
+class SharedImmutableTest(LintTestBase):
+    def test_nonconst_data_member_flagged(self):
+        self.assertEqual(
+            rules_for("src/m/x.h",
+                      "#pragma once\n"
+                      "struct IE_SHARED_IMMUTABLE S {\n"
+                      "  const int* ok = nullptr;\n"
+                      "  int* bad = nullptr;\n"
+                      "};\n"),
+            ["shared-immutable"])
+
+    def test_mutable_member_flagged(self):
+        rules = rules_for("src/m/x.h",
+                          "#pragma once\n"
+                          "struct IE_SHARED_IMMUTABLE S {\n"
+                          "  mutable int dirty = 0;\n"
+                          "};\n")
+        self.assertIn("shared-immutable", rules)
+
+    def test_nonconst_member_function_flagged(self):
+        self.assertEqual(
+            rules_for("src/m/x.h",
+                      "#pragma once\n"
+                      "struct IE_SHARED_IMMUTABLE S {\n"
+                      "  const int* table = nullptr;\n"
+                      "  void Rebind(const int* next) { table = next; }\n"
+                      "};\n"),
+            ["shared-immutable"])
+
+    def test_conforming_type_clean(self):
+        self.assertEqual(
+            rules_for("src/m/x.h",
+                      "#pragma once\n"
+                      "struct IE_SHARED_IMMUTABLE S {\n"
+                      "  const int* table = nullptr;\n"
+                      "  const double* bias = nullptr;\n"
+                      "  double BiasOrZero() const "
+                      "{ return bias ? *bias : 0.0; }\n"
+                      "  static const char* Name() { return \"S\"; }\n"
+                      "};\n"),
+            [])
+
+    def test_constructor_exempt(self):
+        self.assertEqual(
+            rules_for("src/m/x.h",
+                      "#pragma once\n"
+                      "struct IE_SHARED_IMMUTABLE S {\n"
+                      "  const int* table;\n"
+                      "  explicit S(const int* t) : table(t) {}\n"
+                      "};\n"),
+            [])
+
+    def test_unmarked_type_unconstrained(self):
+        self.assertEqual(
+            rules_for("src/m/x.h",
+                      "#pragma once\nstruct Plain {\n"
+                      "  int* scratch = nullptr;\n"
+                      "  void Reset() { scratch = nullptr; }\n"
+                      "};\n"),
+            [])
+
+    def test_waiver_with_reason_accepted(self):
+        self.assertEqual(
+            rules_for("src/m/x.h",
+                      "#pragma once\n"
+                      "struct IE_SHARED_IMMUTABLE S {\n"
+                      "  // ARCH: shared-immutable (interned-id table "
+                      "behind a lock; ids are append-only)\n"
+                      "  int* table = nullptr;\n"
+                      "};\n"),
+            [])
+
+
+class UnusedIncludeTest(LintTestBase):
+    def analyze(self, rel, text):
+        ap = os.path.join(lint.REPO_ROOT, rel)
+        os.makedirs(os.path.dirname(ap), exist_ok=True)
+        with open(ap, "w", encoding="utf-8") as f:
+            f.write(text)
+        findings = []
+        lint.check_unused_includes([ap], findings)
+        return findings
+
+    def setUp(self):
+        super().setUp()
+        hdr = os.path.join(lint.REPO_ROOT, "src", "common", "thing.h")
+        os.makedirs(os.path.dirname(hdr), exist_ok=True)
+        with open(hdr, "w", encoding="utf-8") as f:
+            f.write("#pragma once\nstruct Thing { int v = 0; };\n")
+
+    def test_unused_quoted_include_flagged(self):
+        findings = self.analyze(
+            "src/m/x.cc", '#include "common/thing.h"\nint unrelated;\n')
+        self.assertEqual([f[2] for f in findings], ["unused-include"])
+        self.assertIn("advisory", findings[0][3])
+
+    def test_used_include_clean(self):
+        self.assertEqual(
+            self.analyze("src/m/x.cc",
+                         '#include "common/thing.h"\nThing t;\n'),
+            [])
+
+    def test_companion_header_always_used(self):
+        hdr = os.path.join(lint.REPO_ROOT, "src", "m", "x.h")
+        os.makedirs(os.path.dirname(hdr), exist_ok=True)
+        with open(hdr, "w", encoding="utf-8") as f:
+            f.write("#pragma once\nstruct Unrelated {};\n")
+        self.assertEqual(
+            self.analyze("src/m/x.cc", '#include "m/x.h"\nint y;\n'),
+            [])
+
+    def test_system_includes_ignored(self):
+        self.assertEqual(
+            self.analyze("src/m/x.cc", "#include <vector>\nint y;\n"),
+            [])
+
+
+class ArchJsonAndWalkTest(LintTestBase):
+    def test_json_output_carries_arch_rules(self):
+        import contextlib
+        import io
+        import json as json_mod
+        path = os.path.join(lint.REPO_ROOT, "src", "ranking", "bad.cc")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write('#include "pipeline/result.h"\n'
+                    "int f(const int* p) "
+                    "{ return *const_cast<int*>(p); }\n")
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            status = lint.main(
+                ["lint.py", "--format=json", "src/ranking/bad.cc"])
+        self.assertEqual(status, 1)
+        doc = json_mod.loads(out.getvalue())
+        self.assertEqual(sorted(f["rule"] for f in doc["findings"]),
+                         ["const-escape", "layering-violation"])
+
+    def test_archlint_corpus_dir_pruned_from_walk(self):
+        case_dir = os.path.join(lint.REPO_ROOT, "tests", "archlint",
+                                "cases")
+        os.makedirs(case_dir, exist_ok=True)
+        with open(os.path.join(case_dir, "violation.cc"), "w",
+                  encoding="utf-8") as f:
+            f.write('#include "pipeline/result.h"\n')
+        self.assertEqual(lint.collect_files(["tests"]), [])
+
+    def test_cycle_reported_through_main(self):
+        import contextlib
+        import io
+        import json as json_mod
+        for name, inc in (("a", "b"), ("b", "a")):
+            path = os.path.join(lint.REPO_ROOT, "src", "m", f"{name}.h")
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(f'#pragma once\n#include "m/{inc}.h"\n')
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            status = lint.main(["lint.py", "--format=json", "src"])
+        self.assertEqual(status, 1)
+        doc = json_mod.loads(out.getvalue())
+        self.assertEqual([f["rule"] for f in doc["findings"]], ["cycle"])
+
+
 if __name__ == "__main__":
     unittest.main(verbosity=2)
